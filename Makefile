@@ -1,0 +1,24 @@
+.PHONY: install test test-fast bench report examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+test-fast:
+	pytest tests/ -m "not slow"
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+report:
+	python -c "from repro.evaluation.report import write_report; \
+	           print(write_report('benchmarks/output', 'EXPERIMENTS_MEASURED.md'))"
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; python $$f; echo; done
+
+clean:
+	rm -rf benchmarks/output .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

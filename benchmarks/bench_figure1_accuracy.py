@@ -1,0 +1,43 @@
+"""E-F1 — Figure 1: accuracy of all tested algorithms on DS1-DS3.
+
+Regenerates the bar-chart series behind Figure 1 (one accuracy value per
+algorithm per synthetic dataset) as an ASCII table plus text bars.
+"""
+
+from conftest import run_once
+
+from repro.evaluation import figure1_series, table4_experiment
+
+
+def _bars(series):
+    lines = []
+    for dataset_name, accuracies in series.items():
+        lines.append(f"{dataset_name}:")
+        for algorithm, accuracy in accuracies.items():
+            bar = "#" * int(round(accuracy * 40))
+            lines.append(f"  {algorithm:<26} {accuracy:5.3f} |{bar}")
+    return "\n".join(lines)
+
+
+def test_figure1(record_artifact, benchmark):
+    def build_series():
+        return figure1_series(
+            {
+                name: table4_experiment(
+                    name, scale=0.1, gen_partition_scale=0.03
+                )
+                for name in ("DS1", "DS2", "DS3")
+            }
+        )
+
+    series = run_once(benchmark, build_series)
+    record_artifact(
+        "figure1_accuracy",
+        "Figure 1: accuracy of all tested algorithms on DS1, DS2, DS3\n"
+        + _bars(series),
+    )
+    # Shape check: on every dataset TD-AC's accuracy is within a whisker
+    # of the best approach in the chart.
+    for dataset_name, accuracies in series.items():
+        tdac = accuracies["TD-AC (F=Accu)"]
+        assert tdac >= max(accuracies.values()) - 0.08, dataset_name

@@ -1,0 +1,51 @@
+"""Compare TD-AC against brute-force partition exploration.
+
+Reproduces the paper's core efficiency claim on a small synthetic
+dataset: AccuGenPartition evaluates all Bell(6) = 203 partitions with a
+full truth discovery sweep each, while TD-AC finds a comparable (often
+better) partition from a single base run plus a k-means sweep.
+
+Run with:  python examples/partition_exploration.py
+"""
+
+import time
+
+from repro import Accu, AccuGenPartition, TDAC
+from repro.datasets import make_synthetic, planted_partition
+from repro.evaluation import record_from_result
+from repro.metrics import compare_partitions
+
+generated = make_synthetic("DS1", n_objects=60, seed=0)
+dataset = generated.dataset
+planted = planted_partition("DS1")
+print(f"{dataset}")
+print(f"planted partition: {planted}\n")
+
+rows = []
+for label, runner in (
+    ("AccuGenPartition (Max)", AccuGenPartition(Accu(), "max")),
+    ("AccuGenPartition (Avg)", AccuGenPartition(Accu(), "avg")),
+    ("AccuGenPartition (Oracle)", AccuGenPartition(Accu(), "oracle")),
+    ("TD-AC (F=Accu)", TDAC(Accu(), seed=0)),
+):
+    start = time.perf_counter()
+    outcome = runner.run(dataset)
+    elapsed = time.perf_counter() - start
+    record = record_from_result(dataset, outcome.result)
+    agreement = compare_partitions(planted, outcome.partition)
+    rows.append((label, outcome.partition, record.accuracy, elapsed, agreement))
+
+print(f"{'approach':<28} {'partition':<30} {'acc':>6} {'time':>8}  ARI")
+for label, partition, accuracy, elapsed, agreement in rows:
+    print(
+        f"{label:<28} {str(partition):<30} {accuracy:>6.3f} "
+        f"{elapsed:>7.2f}s  {agreement.adjusted_rand:.2f}"
+    )
+
+tdac_time = rows[-1][3]
+brute_time = rows[0][3]
+print(
+    f"\nTD-AC explored {len(dataset.attributes) - 2} clusterings instead of "
+    f"203 partitions: {brute_time / max(tdac_time, 1e-9):.0f}x faster than "
+    "one brute-force sweep."
+)

@@ -1,0 +1,99 @@
+"""repro — a full reproduction of *TD-AC: Efficient Data Partitioning
+based Truth Discovery* (Tossou & Ba, EDBT 2021).
+
+The package implements the paper's contribution and every substrate it
+depends on, from scratch:
+
+* :mod:`repro.data` — the (sources, attributes, objects, claims) data
+  model with ground truth, IO and statistics;
+* :mod:`repro.algorithms` — MajorityVote, TruthFinder, DEPEN, Accu,
+  AccuSim and six further standard truth discovery algorithms;
+* :mod:`repro.clustering` — k-means, silhouette, distances and
+  k-selection, built without scikit-learn;
+* :mod:`repro.core` — attribute truth vectors, partitions, and the TD-AC
+  algorithm itself;
+* :mod:`repro.baselines` — the brute-force AccuGenPartition baseline;
+* :mod:`repro.datasets` — generators for every evaluation dataset;
+* :mod:`repro.metrics` / :mod:`repro.evaluation` — the paper's metrics
+  and table harness.
+
+Quickstart::
+
+    from repro import TDAC, Accu, datasets
+
+    dataset = datasets.load("DS1", scale=0.1)
+    outcome = TDAC(Accu()).run(dataset)
+    print(outcome.partition)            # the attribute clusters found
+    print(outcome.result.predictions)   # fact -> resolved truth
+"""
+
+from repro import (
+    algorithms,
+    baselines,
+    clustering,
+    core,
+    data,
+    datasets,
+    evaluation,
+    metrics,
+)
+from repro.algorithms import (
+    CATD,
+    CRH,
+    Accu,
+    SimpleLCA,
+    AccuSim,
+    AverageLog,
+    Depen,
+    Investment,
+    MajorityVote,
+    PooledInvestment,
+    Sums,
+    ThreeEstimates,
+    TruthDiscoveryAlgorithm,
+    TruthDiscoveryResult,
+    TruthFinder,
+    TwoEstimates,
+)
+from repro.baselines import AccuGenPartition
+from repro.core import TDAC, Partition, TDACResult, build_truth_vectors
+from repro.data import Claim, Dataset, DatasetBuilder, Fact
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Accu",
+    "AccuGenPartition",
+    "AccuSim",
+    "AverageLog",
+    "CATD",
+    "CRH",
+    "Claim",
+    "Dataset",
+    "DatasetBuilder",
+    "Depen",
+    "Fact",
+    "Investment",
+    "MajorityVote",
+    "Partition",
+    "PooledInvestment",
+    "SimpleLCA",
+    "Sums",
+    "TDAC",
+    "TDACResult",
+    "ThreeEstimates",
+    "TruthDiscoveryAlgorithm",
+    "TruthDiscoveryResult",
+    "TruthFinder",
+    "TwoEstimates",
+    "__version__",
+    "algorithms",
+    "baselines",
+    "build_truth_vectors",
+    "clustering",
+    "core",
+    "data",
+    "datasets",
+    "evaluation",
+    "metrics",
+]

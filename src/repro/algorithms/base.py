@@ -1,0 +1,131 @@
+"""Common interface and result type for truth discovery algorithms.
+
+Every algorithm consumes a :class:`~repro.data.dataset.Dataset` (or a
+pre-compiled :class:`~repro.data.index.DatasetIndex`) and produces a
+:class:`TruthDiscoveryResult`: one predicted value per fact, the final
+per-source trust estimates, plus bookkeeping (iterations, wall time) that
+the paper reports in its tables.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.index import DatasetIndex
+from repro.data.types import Fact, SourceId, Value
+
+
+@dataclass(frozen=True)
+class TruthDiscoveryResult:
+    """The output of one truth discovery run.
+
+    Attributes
+    ----------
+    algorithm:
+        Display name of the algorithm that produced the result.
+    predictions:
+        Predicted true value for every fact that received at least one
+        claim.
+    confidence:
+        Confidence score of the predicted value per fact, normalised to
+        the fact's candidate set where the algorithm defines one.
+    source_trust:
+        Final estimated reliability of every source (algorithm-specific
+        scale; larger is more trusted).
+    iterations:
+        Number of fixed-point iterations executed (1 for single-pass
+        algorithms such as majority voting).
+    elapsed_seconds:
+        Wall-clock time of the run.
+    """
+
+    algorithm: str
+    predictions: Mapping[Fact, Value]
+    confidence: Mapping[Fact, float]
+    source_trust: Mapping[SourceId, float]
+    iterations: int
+    elapsed_seconds: float
+    extras: Mapping[str, object] = field(default_factory=dict)
+
+    def predicted_value(self, fact: Fact) -> Value | None:
+        """Predicted value of ``fact``, or None if no source covered it."""
+        return self.predictions.get(fact)
+
+    def __len__(self) -> int:
+        return len(self.predictions)
+
+
+@dataclass(frozen=True, slots=True)
+class EngineState:
+    """Internal fixed-point state handed back by algorithm cores.
+
+    ``slot_ranking`` optionally carries an unsquashed per-slot score used
+    for winner selection when ``slot_confidence`` saturates (e.g.
+    TruthFinder's logistic flattens to 1.0 for every slot once hundreds
+    of sources vote); it must be monotone in the algorithm's preference.
+    """
+
+    slot_confidence: np.ndarray
+    source_trust: np.ndarray
+    iterations: int
+    slot_ranking: np.ndarray | None = None
+
+
+class TruthDiscoveryAlgorithm(ABC):
+    """Base class for every truth discovery algorithm in the library.
+
+    Subclasses implement :meth:`_solve` over a compiled
+    :class:`DatasetIndex`; the base class handles timing, winner
+    extraction and result materialisation so all algorithms report
+    uniformly.
+    """
+
+    #: Display name; subclasses override.
+    name: str = "abstract"
+
+    def discover(self, data: Dataset | DatasetIndex) -> TruthDiscoveryResult:
+        """Run the algorithm and return its result.
+
+        Accepts either a dataset (compiled on the fly) or an index that
+        the caller compiled once and reuses across algorithms.
+        """
+        index = data if isinstance(data, DatasetIndex) else DatasetIndex(data)
+        start = time.perf_counter()
+        state = self._solve(index)
+        elapsed = time.perf_counter() - start
+        ranking = (
+            state.slot_ranking
+            if state.slot_ranking is not None
+            else state.slot_confidence
+        )
+        winners = index.winning_slots(ranking)
+        predictions = index.predictions_from_slots(winners)
+        confidence = {
+            fact: float(state.slot_confidence[winners[f_id]])
+            for f_id, fact in enumerate(index.facts)
+        }
+        trust = {
+            source: float(state.source_trust[s_id])
+            for s_id, source in enumerate(index.dataset.sources)
+        }
+        return TruthDiscoveryResult(
+            algorithm=self.name,
+            predictions=predictions,
+            confidence=confidence,
+            source_trust=trust,
+            iterations=state.iterations,
+            elapsed_seconds=elapsed,
+        )
+
+    @abstractmethod
+    def _solve(self, index: DatasetIndex) -> EngineState:
+        """Compute per-slot confidences and per-source trust."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

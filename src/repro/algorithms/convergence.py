@@ -1,0 +1,54 @@
+"""Convergence criteria for the iterative fixed points.
+
+Iterative truth discovery algorithms stop when the per-source trust
+vector stabilises.  TruthFinder's original paper uses the change in
+*cosine similarity* between consecutive trust vectors; the Bayesian
+family (Accu and friends) uses the set of predicted truths and a
+maximum-change criterion.  Both are offered here behind one small class
+so algorithms share stopping behaviour and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class ConvergenceCriterion:
+    """Detects stabilisation of consecutive trust vectors.
+
+    Parameters
+    ----------
+    tolerance:
+        Threshold under which the chosen change measure counts as
+        converged.
+    measure:
+        ``"cosine"`` — 1 minus the cosine similarity of consecutive
+        vectors (TruthFinder's criterion); ``"max_change"`` — the largest
+        absolute per-component change; ``"l2"`` — Euclidean distance.
+    """
+
+    tolerance: float = 1e-3
+    measure: str = "cosine"
+
+    def change(self, previous: np.ndarray, current: np.ndarray) -> float:
+        """The change measure between two consecutive trust vectors."""
+        if previous.shape != current.shape:
+            raise ValueError("trust vectors changed shape between iterations")
+        if self.measure == "cosine":
+            denom = float(np.linalg.norm(previous) * np.linalg.norm(current))
+            if denom == 0.0:
+                return 0.0 if not previous.any() and not current.any() else 1.0
+            cosine = float(np.dot(previous, current)) / denom
+            return 1.0 - cosine
+        if self.measure == "max_change":
+            return float(np.max(np.abs(previous - current), initial=0.0))
+        if self.measure == "l2":
+            return float(np.linalg.norm(previous - current))
+        raise ValueError(f"unknown convergence measure: {self.measure!r}")
+
+    def converged(self, previous: np.ndarray, current: np.ndarray) -> bool:
+        """Whether the change between the two vectors is under tolerance."""
+        return self.change(previous, current) < self.tolerance

@@ -1,0 +1,68 @@
+"""Name-based factory for truth discovery algorithms.
+
+The evaluation harness, examples and benchmarks refer to algorithms by
+the names the paper's tables use (``"MajorityVote"``, ``"Accu"``, ...);
+this registry maps those names to constructors so experiment definitions
+stay declarative.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.algorithms.accu import Accu, AccuSim, Depen
+from repro.algorithms.base import TruthDiscoveryAlgorithm
+from repro.algorithms.catd import CATD
+from repro.algorithms.crh import CRH
+from repro.algorithms.estimates import ThreeEstimates, TwoEstimates
+from repro.algorithms.investment import Investment, PooledInvestment
+from repro.algorithms.lca import SimpleLCA
+from repro.algorithms.majority import MajorityVote
+from repro.algorithms.sums import AverageLog, Sums
+from repro.algorithms.truthfinder import TruthFinder
+
+AlgorithmFactory = Callable[..., TruthDiscoveryAlgorithm]
+
+_REGISTRY: dict[str, AlgorithmFactory] = {}
+
+
+def register(name: str, factory: AlgorithmFactory) -> None:
+    """Register ``factory`` under ``name`` (case-insensitive lookup)."""
+    key = name.lower()
+    if key in _REGISTRY:
+        raise ValueError(f"algorithm {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def create(name: str, **kwargs) -> TruthDiscoveryAlgorithm:
+    """Instantiate the algorithm registered under ``name``."""
+    try:
+        factory = _REGISTRY[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(available()))
+        raise KeyError(f"unknown algorithm {name!r}; known: {known}") from None
+    return factory(**kwargs)
+
+
+def available() -> tuple[str, ...]:
+    """Canonical names of all registered algorithms."""
+    return tuple(sorted({factory().name for factory in _REGISTRY.values()}))
+
+
+for _factory in (
+    MajorityVote,
+    TruthFinder,
+    Depen,
+    Accu,
+    AccuSim,
+    Sums,
+    AverageLog,
+    Investment,
+    PooledInvestment,
+    TwoEstimates,
+    ThreeEstimates,
+    CRH,
+    CATD,
+    SimpleLCA,
+):
+    register(_factory().name, _factory)

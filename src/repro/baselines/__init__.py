@@ -1,0 +1,31 @@
+"""Brute-force baselines: set-partition enumeration and AccuGenPartition."""
+
+from repro.baselines.gen_partition import (
+    AccuGenPartition,
+    GenPartitionResult,
+    WEIGHTING_FUNCTIONS,
+    avg_weighting,
+    max_weighting,
+    oracle_weighting,
+)
+from repro.baselines.partitions import (
+    all_partitions,
+    bell_number,
+    partitions_with_block_count,
+    restricted_growth_strings,
+    stirling2,
+)
+
+__all__ = [
+    "AccuGenPartition",
+    "GenPartitionResult",
+    "WEIGHTING_FUNCTIONS",
+    "all_partitions",
+    "avg_weighting",
+    "bell_number",
+    "max_weighting",
+    "oracle_weighting",
+    "partitions_with_block_count",
+    "restricted_growth_strings",
+    "stirling2",
+]

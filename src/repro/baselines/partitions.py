@@ -1,0 +1,94 @@
+"""Enumeration of set partitions (the brute-force search space).
+
+AccuGenPartition explores *every* partition of the attribute set.  The
+number of partitions of an ``n``-set is the Bell number ``B(n)`` (203 for
+the paper's 6 synthetic attributes), and the standard enumeration is by
+*restricted growth strings*: arrays ``a`` with ``a[0] = 0`` and
+``a[i] <= max(a[:i]) + 1``, each encoding the block id of element ``i``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterator, Sequence
+
+from repro.core.partition import Partition
+from repro.data.types import AttributeId
+
+
+@lru_cache(maxsize=None)
+def bell_number(n: int) -> int:
+    """The number of partitions of an ``n``-element set.
+
+    Computed with the Bell triangle; ``B(0) = 1``.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    row = [1]
+    for _ in range(n - 1):
+        next_row = [row[-1]]
+        for value in row:
+            next_row.append(next_row[-1] + value)
+        row = next_row
+    # After n-1 expansions ``row`` is the (n-1)-th Bell-triangle row,
+    # whose last entry is B(n).
+    return row[-1] if n else 1
+
+
+def restricted_growth_strings(n: int) -> Iterator[tuple[int, ...]]:
+    """Yield every restricted growth string of length ``n``.
+
+    Each string encodes one set partition; strings are produced in
+    lexicographic order, starting with the all-zeros string (one block)
+    and ending with ``(0, 1, ..., n-1)`` (all singletons).
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if n == 0:
+        yield ()
+        return
+    a = [0] * n
+    b = [1] * n  # b[i] = max(a[:i]) + 1, maintained incrementally
+    while True:
+        yield tuple(a)
+        # Find the rightmost position that can be incremented.
+        i = n - 1
+        while i > 0 and a[i] == b[i]:
+            i -= 1
+        if i == 0:
+            return
+        a[i] += 1
+        for j in range(i + 1, n):
+            a[j] = 0
+            b[j] = max(b[j - 1], a[j - 1] + 1)
+
+
+def all_partitions(attributes: Sequence[AttributeId]) -> Iterator[Partition]:
+    """Yield every partition of ``attributes`` (Bell-number many)."""
+    attributes = tuple(attributes)
+    for rgs in restricted_growth_strings(len(attributes)):
+        yield Partition.from_labels(attributes, rgs)
+
+
+def partitions_with_block_count(
+    attributes: Sequence[AttributeId], k: int
+) -> Iterator[Partition]:
+    """Yield the partitions of ``attributes`` with exactly ``k`` blocks.
+
+    There are Stirling-number-of-the-second-kind many of them.
+    """
+    for partition in all_partitions(attributes):
+        if partition.n_blocks == k:
+            yield partition
+
+
+@lru_cache(maxsize=None)
+def stirling2(n: int, k: int) -> int:
+    """Stirling number of the second kind: k-block partitions of an n-set."""
+    if n < 0 or k < 0:
+        raise ValueError("n and k must be non-negative")
+    if n == 0 and k == 0:
+        return 1
+    if n == 0 or k == 0 or k > n:
+        return 0
+    return k * stirling2(n - 1, k) + stirling2(n - 1, k - 1)

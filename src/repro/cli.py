@@ -1,0 +1,186 @@
+"""Command-line interface: regenerate paper artefacts from the shell.
+
+Examples
+--------
+::
+
+    python -m repro table4 DS1 --scale 0.1
+    python -m repro table5 DS2
+    python -m repro table8
+    python -m repro table9 "Exam 62"
+    python -m repro run Accu DS1 --scale 0.05
+    python -m repro datasets
+    python -m repro algorithms
+
+Every subcommand prints a paper-style ASCII table to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import algorithms as algorithm_registry
+from repro.algorithms import create
+from repro.core import TDAC
+from repro.datasets import available as available_datasets
+from repro.datasets import load
+from repro.evaluation import (
+    format_table,
+    performance_table,
+    run_algorithm,
+    semi_synthetic_experiment,
+    table4_experiment,
+    table5_experiment,
+    table8_experiment,
+    table9_experiment,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TD-AC reproduction: regenerate the paper's tables.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table4 = sub.add_parser("table4", help="Tables 4a-4c (synthetic)")
+    table4.add_argument("dataset", choices=["DS1", "DS2", "DS3"])
+    table4.add_argument("--scale", type=float, default=0.1)
+    table4.add_argument(
+        "--brute-scale",
+        type=float,
+        default=None,
+        help="scale for the AccuGenPartition rows (omit to skip them)",
+    )
+
+    table5 = sub.add_parser("table5", help="Table 5 (chosen partitions)")
+    table5.add_argument("dataset", choices=["DS1", "DS2", "DS3"])
+    table5.add_argument("--scale", type=float, default=0.05)
+
+    table67 = sub.add_parser("table6", help="Tables 6/7 (semi-synthetic)")
+    table67.add_argument("attributes", type=int, choices=[62, 124])
+    table67.add_argument("range_size", type=int)
+
+    sub.add_parser("table8", help="Table 8 (real-data statistics)")
+
+    table9 = sub.add_parser("table9", help="Table 9 (real data)")
+    table9.add_argument("dataset")
+
+    run = sub.add_parser("run", help="run one algorithm on one dataset")
+    run.add_argument("algorithm", help="algorithm name, or TDAC+<base>")
+    run.add_argument("dataset")
+    run.add_argument("--scale", type=float, default=1.0)
+    run.add_argument("--seed", type=int, default=0)
+
+    board = sub.add_parser(
+        "leaderboard", help="rank every algorithm on one dataset"
+    )
+    board.add_argument("dataset")
+    board.add_argument("--scale", type=float, default=1.0)
+    board.add_argument("--seed", type=int, default=0)
+    board.add_argument(
+        "--no-tdac", action="store_true", help="skip the TD-AC-wrapped rows"
+    )
+
+    sub.add_parser("datasets", help="list available datasets")
+    sub.add_parser("algorithms", help="list available algorithms")
+
+    report = sub.add_parser(
+        "report", help="assemble benchmarks/output into one markdown file"
+    )
+    report.add_argument("--output-dir", default="benchmarks/output")
+    report.add_argument("--destination", default="EXPERIMENTS_MEASURED.md")
+    return parser
+
+
+def _make_algorithm(name: str, seed: int):
+    if name.upper().startswith("TDAC+"):
+        base = create(name[5:])
+        return TDAC(base, seed=seed)
+    return create(name)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "table4":
+        records = table4_experiment(
+            args.dataset, scale=args.scale, gen_partition_scale=args.brute_scale
+        )
+        print(performance_table(records, title=f"Table 4 ({args.dataset})"))
+    elif args.command == "table5":
+        rows = table5_experiment(args.dataset, scale=args.scale)
+        print(
+            format_table(
+                ["Approach", "Dataset", "Partition"],
+                [r.as_row() for r in rows],
+                title=f"Table 5 ({args.dataset})",
+            )
+        )
+    elif args.command == "table6":
+        records = semi_synthetic_experiment(args.attributes, args.range_size)
+        title = "Table 6" if args.attributes == 62 else "Table 7"
+        print(
+            performance_table(
+                records, title=f"{title} (Range {args.range_size})"
+            )
+        )
+    elif args.command == "table8":
+        stats = table8_experiment()
+        print(
+            format_table(
+                [
+                    "Dataset",
+                    "Sources",
+                    "Objects",
+                    "Attributes",
+                    "Observations",
+                    "DCR (%)",
+                ],
+                [s.as_row() for s in stats],
+                title="Table 8",
+            )
+        )
+    elif args.command == "table9":
+        records = table9_experiment(args.dataset)
+        print(performance_table(records, title=f"Table 9 ({args.dataset})"))
+    elif args.command == "run":
+        dataset = load(args.dataset, seed=args.seed, scale=args.scale)
+        record = run_algorithm(_make_algorithm(args.algorithm, args.seed), dataset)
+        print(performance_table([record], title=str(dataset)))
+        if record.partition is not None:
+            print(f"partition: {record.partition}")
+    elif args.command == "leaderboard":
+        from repro.evaluation.leaderboard import leaderboard
+
+        dataset = load(args.dataset, seed=args.seed, scale=args.scale)
+        entries = leaderboard(
+            dataset, include_tdac=not args.no_tdac, seed=args.seed
+        )
+        from repro.evaluation.tables import PERFORMANCE_HEADER
+
+        print(
+            format_table(
+                ("Rank",) + PERFORMANCE_HEADER,
+                [entry.as_row() for entry in entries],
+                title=f"Leaderboard: {dataset}",
+            )
+        )
+    elif args.command == "report":
+        from repro.evaluation.report import write_report
+
+        path = write_report(args.output_dir, args.destination)
+        print(f"wrote {path}")
+    elif args.command == "datasets":
+        for name in available_datasets():
+            print(name)
+    elif args.command == "algorithms":
+        for name in algorithm_registry.available():
+            print(name)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Clustering substrate: distances, k-means, silhouette, k selection.
+
+Everything here is implemented from scratch (scikit-learn is not a
+dependency): the Hamming / Euclidean / masked distance metrics of the
+paper's Eq. 2, Lloyd's k-means with k-means++ seeding (Eq. 3), the
+silhouette index (Eqs. 5–7), hierarchical clustering for ablations, and
+three k-selection strategies.
+"""
+
+from repro.clustering.agglomerative import Agglomerative, AgglomerativeResult
+from repro.clustering.distance import (
+    PAIRWISE_METRICS,
+    euclidean,
+    hamming,
+    masked_hamming,
+    pairwise,
+    pairwise_euclidean,
+    pairwise_hamming,
+    pairwise_masked_hamming,
+)
+from repro.clustering.kmeans import KMeans, KMeansResult, inertia_of
+from repro.clustering.kselect import (
+    K_SELECTORS,
+    KSelectionResult,
+    select_k_elbow,
+    select_k_gap,
+    select_k_silhouette,
+)
+from repro.clustering.silhouette import silhouette_samples, silhouette_score
+from repro.clustering.spectral import Spectral, SpectralResult
+
+__all__ = [
+    "Agglomerative",
+    "AgglomerativeResult",
+    "KMeans",
+    "KMeansResult",
+    "KSelectionResult",
+    "K_SELECTORS",
+    "PAIRWISE_METRICS",
+    "euclidean",
+    "hamming",
+    "inertia_of",
+    "masked_hamming",
+    "pairwise",
+    "pairwise_euclidean",
+    "pairwise_hamming",
+    "pairwise_masked_hamming",
+    "select_k_elbow",
+    "select_k_gap",
+    "select_k_silhouette",
+    "silhouette_samples",
+    "silhouette_score",
+    "Spectral",
+    "SpectralResult",
+]

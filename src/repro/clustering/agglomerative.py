@@ -1,0 +1,107 @@
+"""Agglomerative (hierarchical) clustering, used as a TD-AC ablation.
+
+A straightforward bottom-up Lance–Williams implementation over a
+precomputed distance matrix with single, complete and average linkage.
+TD-AC uses k-means; this clusterer answers the design question "does the
+partition quality depend on the clustering family?" (ablation A-2 in
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_LINKAGES = ("single", "complete", "average")
+
+
+@dataclass(frozen=True)
+class AgglomerativeResult:
+    """Outcome of one agglomerative fit at a fixed cluster count."""
+
+    labels: np.ndarray
+    n_clusters: int
+    merge_heights: tuple[float, ...]
+
+    def clusters(self) -> list[list[int]]:
+        """Row indices grouped by cluster id."""
+        groups: list[list[int]] = [[] for _ in range(self.n_clusters)]
+        for row, label in enumerate(self.labels):
+            groups[int(label)].append(row)
+        return groups
+
+
+class Agglomerative:
+    """Bottom-up merging until ``n_clusters`` groups remain.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters to stop at.
+    linkage:
+        ``"single"`` (minimum), ``"complete"`` (maximum) or ``"average"``
+        inter-cluster distance update.
+    """
+
+    def __init__(self, n_clusters: int, linkage: str = "average") -> None:
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be at least 1")
+        if linkage not in _LINKAGES:
+            raise ValueError(f"unknown linkage {linkage!r}; known: {_LINKAGES}")
+        self.n_clusters = n_clusters
+        self.linkage = linkage
+
+    def fit_distances(self, distances: np.ndarray) -> AgglomerativeResult:
+        """Cluster from a symmetric pairwise distance matrix."""
+        distances = np.asarray(distances, dtype=float)
+        n = len(distances)
+        if distances.shape != (n, n):
+            raise ValueError("expected a square distance matrix")
+        if self.n_clusters > n:
+            raise ValueError(
+                f"cannot form {self.n_clusters} clusters from {n} points"
+            )
+        # Active cluster bookkeeping: id -> member list; working matrix d.
+        members: dict[int, list[int]] = {i: [i] for i in range(n)}
+        d = distances.astype(float).copy()
+        np.fill_diagonal(d, np.inf)
+        active = list(range(n))
+        heights: list[float] = []
+        while len(active) > self.n_clusters:
+            sub = d[np.ix_(active, active)]
+            flat = int(np.argmin(sub))
+            i_pos, j_pos = divmod(flat, len(active))
+            if i_pos == j_pos:  # all-infinite guard (identical points)
+                break
+            a, b = active[min(i_pos, j_pos)], active[max(i_pos, j_pos)]
+            heights.append(float(d[a, b]))
+            d = self._merge(d, members, a, b)
+            members[a] = members[a] + members.pop(b)
+            active.remove(b)
+        labels = np.empty(n, dtype=np.int64)
+        ordered = sorted(active, key=lambda c: min(members[c]))
+        for new_id, cluster in enumerate(ordered):
+            for row in members[cluster]:
+                labels[row] = new_id
+        return AgglomerativeResult(
+            labels=labels,
+            n_clusters=len(active),
+            merge_heights=tuple(heights),
+        )
+
+    def _merge(
+        self, d: np.ndarray, members: dict[int, list[int]], a: int, b: int
+    ) -> np.ndarray:
+        """Lance–Williams update of cluster ``a`` absorbing ``b``."""
+        size_a, size_b = len(members[a]), len(members[b])
+        if self.linkage == "single":
+            merged = np.minimum(d[a], d[b])
+        elif self.linkage == "complete":
+            merged = np.maximum(d[a], d[b])
+        else:  # average
+            merged = (size_a * d[a] + size_b * d[b]) / (size_a + size_b)
+        d[a], d[:, a] = merged, merged
+        d[a, a] = np.inf
+        d[b], d[:, b] = np.inf, np.inf
+        return d

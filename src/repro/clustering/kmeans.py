@@ -1,0 +1,227 @@
+"""Lloyd's k-means with k-means++ seeding, implemented from scratch.
+
+scikit-learn is not a dependency of this reproduction, so the clustering
+substrate the paper relies on is built here: standard Lloyd iterations
+minimising the within-cluster sum of squared distances (the paper's
+Equation 3), k-means++ or random initialisation, several restarts keeping
+the best inertia, and deterministic behaviour through an explicit random
+generator.
+
+For the binary attribute truth vectors the squared Euclidean objective
+coincides with the paper's Hamming-distance objective (Eq. 2), see
+:mod:`repro.clustering.distance`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of one k-means fit.
+
+    Attributes
+    ----------
+    labels:
+        Cluster id of every input row, in ``range(k)`` with no gaps.
+    centroids:
+        ``(k, n_features)`` array of cluster centres.
+    inertia:
+        Within-cluster sum of squared Euclidean distances (Eq. 3).
+    n_iterations:
+        Lloyd iterations of the best restart.
+    """
+
+    labels: np.ndarray
+    centroids: np.ndarray
+    inertia: float
+    n_iterations: int
+
+    @property
+    def k(self) -> int:
+        """Number of clusters."""
+        return len(self.centroids)
+
+    def clusters(self) -> list[list[int]]:
+        """Row indices grouped by cluster id."""
+        groups: list[list[int]] = [[] for _ in range(self.k)]
+        for row, label in enumerate(self.labels):
+            groups[int(label)].append(row)
+        return groups
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ seeding and restarts.
+
+    Parameters
+    ----------
+    n_clusters:
+        The ``k`` to fit.
+    n_init:
+        Number of independent restarts; the fit with the lowest inertia
+        wins.
+    max_iterations:
+        Cap on Lloyd iterations per restart.
+    tolerance:
+        Stop when no centroid moves by more than this (squared norm).
+    init:
+        ``"k-means++"`` (default) or ``"random"`` seeding.
+    seed:
+        Integer seed or :class:`numpy.random.Generator` for determinism.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        n_init: int = 10,
+        max_iterations: int = 300,
+        tolerance: float = 1e-6,
+        init: str = "k-means++",
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be at least 1")
+        if n_init < 1:
+            raise ValueError("n_init must be at least 1")
+        if init not in ("k-means++", "random"):
+            raise ValueError(f"unknown init strategy {init!r}")
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.init = init
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+
+    def fit(self, data: np.ndarray) -> KMeansResult:
+        """Cluster the rows of ``data`` into ``n_clusters`` groups."""
+        data = np.asarray(data, dtype=float)
+        if data.ndim != 2:
+            raise ValueError("expected a 2-D matrix of row vectors")
+        n_rows = len(data)
+        if self.n_clusters > n_rows:
+            raise ValueError(
+                f"cannot fit {self.n_clusters} clusters to {n_rows} rows"
+            )
+        best: KMeansResult | None = None
+        for _ in range(self.n_init):
+            result = self._fit_once(data)
+            if best is None or result.inertia < best.inertia:
+                best = result
+        assert best is not None
+        return best
+
+    # ------------------------------------------------------------------
+
+    def _fit_once(self, data: np.ndarray) -> KMeansResult:
+        centroids = self._initial_centroids(data)
+        labels = np.zeros(len(data), dtype=np.int64)
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            distances = _squared_distances(data, centroids)
+            labels = np.argmin(distances, axis=1)
+            new_centroids = self._update_centroids(data, labels, centroids)
+            shift = float(np.max(np.sum((new_centroids - centroids) ** 2, axis=1)))
+            centroids = new_centroids
+            if shift <= self.tolerance:
+                break
+        distances = _squared_distances(data, centroids)
+        labels = np.argmin(distances, axis=1)
+        labels, centroids = _compact_labels(labels, centroids)
+        inertia = float(np.sum(np.min(_squared_distances(data, centroids), axis=1)))
+        return KMeansResult(
+            labels=labels,
+            centroids=centroids,
+            inertia=inertia,
+            n_iterations=iterations,
+        )
+
+    def _initial_centroids(self, data: np.ndarray) -> np.ndarray:
+        n_rows = len(data)
+        if self.init == "random":
+            chosen = self._rng.choice(n_rows, size=self.n_clusters, replace=False)
+            return data[chosen].copy()
+        # k-means++: spread seeds proportionally to squared distance from
+        # the nearest already-chosen seed.
+        first = int(self._rng.integers(n_rows))
+        centroids = [data[first]]
+        closest = np.sum((data - centroids[0]) ** 2, axis=1)
+        for _ in range(1, self.n_clusters):
+            total = float(closest.sum())
+            if total <= 0.0:
+                # All remaining points coincide with a seed; pick any
+                # distinct row to keep the requested k.
+                remaining = np.setdiff1d(
+                    np.arange(n_rows), [int(self._rng.integers(n_rows))]
+                )
+                pick = int(self._rng.choice(remaining))
+            else:
+                probabilities = closest / total
+                pick = int(self._rng.choice(n_rows, p=probabilities))
+            centroids.append(data[pick])
+            closest = np.minimum(
+                closest, np.sum((data - centroids[-1]) ** 2, axis=1)
+            )
+        return np.asarray(centroids)
+
+    def _update_centroids(
+        self, data: np.ndarray, labels: np.ndarray, previous: np.ndarray
+    ) -> np.ndarray:
+        sums = np.zeros_like(previous)
+        np.add.at(sums, labels, data)
+        counts = np.bincount(labels, minlength=self.n_clusters).astype(float)
+        occupied = counts > 0
+        centroids = previous.copy()
+        centroids[occupied] = sums[occupied] / counts[occupied, None]
+        empty = np.flatnonzero(~occupied)
+        if len(empty):
+            # Empty-cluster repair: reseed at the points farthest from
+            # their assigned centroid, a standard Lloyd fix-up.
+            distances = _squared_distances(data, previous)
+            assigned = np.min(distances, axis=1)
+            farthest = np.argsort(-assigned)
+            for slot, cluster in enumerate(empty):
+                centroids[cluster] = data[farthest[slot % len(data)]]
+        return centroids
+
+
+def _squared_distances(data: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """``(n_rows, k)`` squared Euclidean distances to every centroid.
+
+    Uses the Gram expansion ``|x|^2 + |c|^2 - 2 x.c`` so the heavy part
+    is one BLAS matrix product instead of a broadcast (n, k, d) cube.
+    """
+    row_norms = np.einsum("ij,ij->i", data, data)
+    centroid_norms = np.einsum("ij,ij->i", centroids, centroids)
+    cross = data @ centroids.T
+    distances = row_norms[:, None] + centroid_norms[None, :] - 2.0 * cross
+    return np.maximum(distances, 0.0)
+
+
+def _compact_labels(
+    labels: np.ndarray, centroids: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Renumber labels to remove empty clusters, keeping first-seen order."""
+    seen: dict[int, int] = {}
+    compacted = np.empty_like(labels)
+    for i, label in enumerate(labels):
+        new = seen.setdefault(int(label), len(seen))
+        compacted[i] = new
+    kept = [old for old in seen]
+    return compacted, centroids[kept]
+
+
+def inertia_of(data: np.ndarray, labels: np.ndarray) -> float:
+    """Within-cluster sum of squares of an arbitrary labelling."""
+    data = np.asarray(data, dtype=float)
+    labels = np.asarray(labels)
+    total = 0.0
+    for cluster in np.unique(labels):
+        members = data[labels == cluster]
+        centroid = members.mean(axis=0)
+        total += float(np.sum((members - centroid) ** 2))
+    return total

@@ -1,0 +1,172 @@
+"""Strategies for choosing the number of clusters ``k``.
+
+TD-AC sweeps ``k`` from 2 to ``n-1`` and keeps the clustering with the
+best silhouette (Algorithm 1, lines 6–18).  Two classic alternatives are
+provided for the ablation benches: the elbow criterion (largest relative
+inertia drop) and Tibshirani's gap statistic against a uniform reference.
+
+Every strategy returns a :class:`KSelectionResult` with the chosen ``k``,
+its labelling, and the full diagnostic curve so benches can plot it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.clustering.distance import pairwise_hamming
+from repro.clustering.kmeans import KMeans
+from repro.clustering.silhouette import silhouette_score
+
+
+@dataclass(frozen=True)
+class KSelectionResult:
+    """Chosen ``k``, its labels, and the per-k diagnostic scores."""
+
+    k: int
+    labels: np.ndarray
+    scores: Mapping[int, float]
+    strategy: str
+
+
+def _fit_all(
+    data: np.ndarray,
+    k_range: range,
+    seed: int,
+    n_init: int,
+) -> dict[int, np.ndarray]:
+    """Fit k-means for every k in the range; labels per k."""
+    fits: dict[int, np.ndarray] = {}
+    for k in k_range:
+        result = KMeans(n_clusters=k, n_init=n_init, seed=seed).fit(data)
+        fits[k] = result.labels
+    return fits
+
+
+def _valid_range(n_rows: int, k_min: int, k_max: int | None) -> range:
+    upper = n_rows - 1 if k_max is None else min(k_max, n_rows - 1)
+    if upper < k_min:
+        raise ValueError(
+            f"no valid k in [{k_min}, {upper}] for {n_rows} rows"
+        )
+    return range(k_min, upper + 1)
+
+
+def select_k_silhouette(
+    data: np.ndarray,
+    k_min: int = 2,
+    k_max: int | None = None,
+    seed: int = 0,
+    n_init: int = 10,
+    average: str = "macro",
+    distances: np.ndarray | None = None,
+) -> KSelectionResult:
+    """The paper's sweep: best silhouette over ``k in [2, n-1]``.
+
+    ``distances`` may supply a precomputed pairwise matrix (e.g. the
+    masked Hamming variant); otherwise plain Hamming on ``data`` is used,
+    matching Eq. 2.
+    """
+    data = np.asarray(data, dtype=float)
+    k_range = _valid_range(len(data), k_min, k_max)
+    if distances is None:
+        distances = pairwise_hamming(data)
+    fits = _fit_all(data, k_range, seed, n_init)
+    scores: dict[int, float] = {}
+    for k, labels in fits.items():
+        if len(np.unique(labels)) < 2:
+            scores[k] = -1.0
+            continue
+        scores[k] = silhouette_score(distances, labels, average=average)
+    best_k = max(scores, key=lambda k: (scores[k], -k))
+    return KSelectionResult(
+        k=best_k, labels=fits[best_k], scores=scores, strategy="silhouette"
+    )
+
+
+def select_k_elbow(
+    data: np.ndarray,
+    k_min: int = 2,
+    k_max: int | None = None,
+    seed: int = 0,
+    n_init: int = 10,
+) -> KSelectionResult:
+    """Elbow criterion: k with the largest curvature of the inertia curve."""
+    data = np.asarray(data, dtype=float)
+    k_range = _valid_range(len(data), k_min, k_max)
+    inertias: dict[int, float] = {}
+    fits: dict[int, np.ndarray] = {}
+    for k in k_range:
+        result = KMeans(n_clusters=k, n_init=n_init, seed=seed).fit(data)
+        inertias[k] = result.inertia
+        fits[k] = result.labels
+    ks = sorted(inertias)
+    if len(ks) <= 2:
+        best_k = ks[0]
+    else:
+        # Second difference of the inertia curve; the sharpest bend wins.
+        curvatures = {
+            ks[i]: inertias[ks[i - 1]] - 2 * inertias[ks[i]] + inertias[ks[i + 1]]
+            for i in range(1, len(ks) - 1)
+        }
+        best_k = max(curvatures, key=lambda k: (curvatures[k], -k))
+    return KSelectionResult(
+        k=best_k, labels=fits[best_k], scores=inertias, strategy="elbow"
+    )
+
+
+def select_k_gap(
+    data: np.ndarray,
+    k_min: int = 2,
+    k_max: int | None = None,
+    seed: int = 0,
+    n_init: int = 10,
+    n_references: int = 10,
+) -> KSelectionResult:
+    """Tibshirani's gap statistic with a uniform-box reference.
+
+    Picks the smallest ``k`` with ``gap(k) >= gap(k+1) - s(k+1)``; falls
+    back to the max-gap ``k`` when the inequality never holds.
+    """
+    data = np.asarray(data, dtype=float)
+    k_range = _valid_range(len(data), k_min, k_max)
+    rng = np.random.default_rng(seed)
+    lows, highs = data.min(axis=0), data.max(axis=0)
+    gaps: dict[int, float] = {}
+    errors: dict[int, float] = {}
+    fits: dict[int, np.ndarray] = {}
+    for k in k_range:
+        fit = KMeans(n_clusters=k, n_init=n_init, seed=seed).fit(data)
+        fits[k] = fit.labels
+        observed = np.log(max(fit.inertia, 1e-12))
+        reference_logs = []
+        for _ in range(n_references):
+            fake = rng.uniform(lows, highs, size=data.shape)
+            ref = KMeans(n_clusters=k, n_init=1, seed=seed).fit(fake)
+            reference_logs.append(np.log(max(ref.inertia, 1e-12)))
+        reference_logs = np.asarray(reference_logs)
+        gaps[k] = float(reference_logs.mean() - observed)
+        errors[k] = float(
+            reference_logs.std(ddof=0) * np.sqrt(1.0 + 1.0 / n_references)
+        )
+    ks = sorted(gaps)
+    best_k = None
+    for i, k in enumerate(ks[:-1]):
+        nxt = ks[i + 1]
+        if gaps[k] >= gaps[nxt] - errors[nxt]:
+            best_k = k
+            break
+    if best_k is None:
+        best_k = max(gaps, key=lambda k: (gaps[k], -k))
+    return KSelectionResult(
+        k=best_k, labels=fits[best_k], scores=gaps, strategy="gap"
+    )
+
+
+K_SELECTORS = {
+    "silhouette": select_k_silhouette,
+    "elbow": select_k_elbow,
+    "gap": select_k_gap,
+}

@@ -1,0 +1,51 @@
+"""TD-AC core: truth vectors, attribute partitions, and Algorithm 1.
+
+* :func:`~repro.core.truth_vectors.build_truth_vectors` — Eq. 1;
+* :class:`~repro.core.partition.Partition` — canonical attribute
+  partitions with Rand / adjusted-Rand comparison (Table 5);
+* :class:`~repro.core.tdac.TDAC` — the paper's algorithm;
+* :func:`~repro.core.parallel.run_blocks` — per-block execution,
+  optionally parallel.
+"""
+
+from repro.core.explain import (
+    CandidateSupport,
+    FactExplanation,
+    PartitionExplanation,
+    explain_fact,
+    explain_partition,
+)
+from repro.core.incremental import IncrementalTDAC
+from repro.core.object_tdac import (
+    ObjectTDAC,
+    ObjectTDACResult,
+    build_object_truth_vectors,
+)
+from repro.core.parallel import run_blocks
+from repro.core.partition import (
+    Partition,
+    adjusted_rand_index,
+    rand_index,
+)
+from repro.core.tdac import TDAC, TDACResult
+from repro.core.truth_vectors import TruthVectorMatrix, build_truth_vectors
+
+__all__ = [
+    "CandidateSupport",
+    "FactExplanation",
+    "IncrementalTDAC",
+    "ObjectTDAC",
+    "ObjectTDACResult",
+    "Partition",
+    "PartitionExplanation",
+    "TDAC",
+    "TDACResult",
+    "TruthVectorMatrix",
+    "adjusted_rand_index",
+    "build_object_truth_vectors",
+    "build_truth_vectors",
+    "explain_fact",
+    "explain_partition",
+    "rand_index",
+    "run_blocks",
+]

@@ -1,0 +1,176 @@
+"""Attribute partitions: the objects TD-AC searches for.
+
+A :class:`Partition` is a set of disjoint, jointly exhaustive blocks over
+a dataset's attributes.  Blocks are canonicalised (sorted members, blocks
+ordered by their smallest member) so partitions compare by value, print
+in the paper's ``[(1,2),(4,6),(3,5)]`` style (Table 5), and can be
+measured against each other with Rand / adjusted-Rand indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.data.types import AttributeId
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A canonical partition of a set of attributes."""
+
+    blocks: tuple[tuple[AttributeId, ...], ...]
+
+    @staticmethod
+    def from_blocks(blocks: Iterable[Iterable[AttributeId]]) -> "Partition":
+        """Build a partition from arbitrary block iterables, validating
+        disjointness and non-emptiness."""
+        cleaned = []
+        seen: set[AttributeId] = set()
+        for block in blocks:
+            members = tuple(sorted(set(block), key=str))
+            if not members:
+                raise ValueError("partition blocks must be non-empty")
+            overlap = seen.intersection(members)
+            if overlap:
+                raise ValueError(
+                    f"attributes in multiple blocks: {sorted(map(str, overlap))}"
+                )
+            seen.update(members)
+            cleaned.append(members)
+        cleaned.sort(key=lambda b: str(b[0]))
+        return Partition(tuple(cleaned))
+
+    @staticmethod
+    def from_labels(
+        attributes: Sequence[AttributeId], labels: Sequence[int]
+    ) -> "Partition":
+        """Build a partition from a cluster-label array over ``attributes``."""
+        if len(attributes) != len(labels):
+            raise ValueError("attributes and labels differ in length")
+        groups: dict[int, list[AttributeId]] = {}
+        for attribute, label in zip(attributes, labels):
+            groups.setdefault(int(label), []).append(attribute)
+        return Partition.from_blocks(groups.values())
+
+    @staticmethod
+    def singletons(attributes: Iterable[AttributeId]) -> "Partition":
+        """The finest partition: every attribute in its own block."""
+        return Partition.from_blocks([a] for a in attributes)
+
+    @staticmethod
+    def whole(attributes: Iterable[AttributeId]) -> "Partition":
+        """The coarsest partition: one block with every attribute."""
+        return Partition.from_blocks([tuple(attributes)])
+
+    # ------------------------------------------------------------------
+
+    @property
+    def attributes(self) -> tuple[AttributeId, ...]:
+        """All attributes covered by the partition, sorted."""
+        return tuple(sorted((a for b in self.blocks for a in b), key=str))
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of blocks."""
+        return len(self.blocks)
+
+    def __iter__(self) -> Iterator[tuple[AttributeId, ...]]:
+        return iter(self.blocks)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def block_of(self, attribute: AttributeId) -> tuple[AttributeId, ...]:
+        """The block containing ``attribute``."""
+        for block in self.blocks:
+            if attribute in block:
+                return block
+        raise KeyError(f"attribute {attribute!r} not in partition")
+
+    def labels(self, attributes: Sequence[AttributeId]) -> np.ndarray:
+        """Cluster-label array of ``attributes`` under this partition."""
+        block_id = {
+            attribute: i
+            for i, block in enumerate(self.blocks)
+            for attribute in block
+        }
+        try:
+            return np.asarray([block_id[a] for a in attributes], dtype=np.int64)
+        except KeyError as exc:
+            raise KeyError(f"attribute {exc.args[0]!r} not in partition") from None
+
+    def __str__(self) -> str:
+        inner = ",".join(
+            "(" + ",".join(str(a) for a in block) + ")" for block in self.blocks
+        )
+        return f"[{inner}]"
+
+
+# ----------------------------------------------------------------------
+# Partition agreement measures (used to compare Table 5 rows)
+# ----------------------------------------------------------------------
+
+
+def _pair_counts(
+    reference: Partition, candidate: Partition
+) -> tuple[int, int, int, int]:
+    """Confusion counts over attribute pairs (together/apart agreement)."""
+    attributes = reference.attributes
+    if candidate.attributes != attributes:
+        raise ValueError("partitions cover different attribute sets")
+    ref_labels = reference.labels(attributes)
+    cand_labels = candidate.labels(attributes)
+    n = len(attributes)
+    both_together = both_apart = mixed_ref = mixed_cand = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            same_ref = ref_labels[i] == ref_labels[j]
+            same_cand = cand_labels[i] == cand_labels[j]
+            if same_ref and same_cand:
+                both_together += 1
+            elif not same_ref and not same_cand:
+                both_apart += 1
+            elif same_ref:
+                mixed_ref += 1
+            else:
+                mixed_cand += 1
+    return both_together, both_apart, mixed_ref, mixed_cand
+
+
+def rand_index(reference: Partition, candidate: Partition) -> float:
+    """Fraction of attribute pairs on which the two partitions agree."""
+    a, b, c, d = _pair_counts(reference, candidate)
+    total = a + b + c + d
+    return 1.0 if total == 0 else (a + b) / total
+
+
+def adjusted_rand_index(reference: Partition, candidate: Partition) -> float:
+    """Rand index corrected for chance (Hubert & Arabie)."""
+    attributes = reference.attributes
+    ref_labels = reference.labels(attributes)
+    cand_labels = candidate.labels(attributes)
+    n = len(attributes)
+    contingency: dict[tuple[int, int], int] = {}
+    for r, c in zip(ref_labels, cand_labels):
+        contingency[(int(r), int(c))] = contingency.get((int(r), int(c)), 0) + 1
+    def comb2(x: int) -> float:
+        return x * (x - 1) / 2.0
+    sum_cells = sum(comb2(v) for v in contingency.values())
+    row_sums: dict[int, int] = {}
+    col_sums: dict[int, int] = {}
+    for (r, c), v in contingency.items():
+        row_sums[r] = row_sums.get(r, 0) + v
+        col_sums[c] = col_sums.get(c, 0) + v
+    sum_rows = sum(comb2(v) for v in row_sums.values())
+    sum_cols = sum(comb2(v) for v in col_sums.values())
+    total_pairs = comb2(n)
+    if total_pairs == 0:
+        return 1.0
+    expected = sum_rows * sum_cols / total_pairs
+    maximum = (sum_rows + sum_cols) / 2.0
+    if maximum == expected:
+        return 1.0
+    return (sum_cells - expected) / (maximum - expected)

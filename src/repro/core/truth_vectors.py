@@ -1,0 +1,109 @@
+"""Attribute truth vectors (Section 3.1, Equation 1).
+
+The attribute truth vector of attribute ``a`` is a binary vector with one
+rank per (object, source) pair::
+
+    x(a, o, s) = 1  iff  s claims a value for (o, a) and that value equals
+                         the reference truth v_F(o, a)
+
+where the reference truth is the prediction of a *base* truth discovery
+algorithm run once over the whole dataset.  Attributes whose vectors are
+close in Hamming distance are exactly the attributes on which sources
+exhibit the same reliability profile — the paper's notion of structural
+correlation — which is what TD-AC clusters.
+
+:class:`TruthVectorMatrix` also carries the observation mask (which ranks
+were actually covered by a claim), enabling the missing-data-aware
+distance of the paper's first research perspective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.base import TruthDiscoveryAlgorithm, TruthDiscoveryResult
+from repro.data.dataset import Dataset
+from repro.data.types import AttributeId, Fact, ObjectId, SourceId
+
+
+@dataclass(frozen=True)
+class TruthVectorMatrix:
+    """The matrix of attribute truth vectors for one dataset.
+
+    Attributes
+    ----------
+    matrix:
+        ``(n_attributes, n_objects * n_sources)`` binary array; row ``i``
+        is the truth vector of ``attributes[i]``.
+    mask:
+        Same shape; ``True`` where the (object, source) rank is actually
+        covered by a claim.  ``matrix`` is 0 wherever ``mask`` is False
+        (Eq. 1 treats missing claims as "not confirmed").
+    attributes:
+        Row labels.
+    ranks:
+        Column labels as (object, source) pairs, object-major.
+    """
+
+    matrix: np.ndarray
+    mask: np.ndarray
+    attributes: tuple[AttributeId, ...]
+    ranks: tuple[tuple[ObjectId, SourceId], ...]
+
+    @property
+    def n_attributes(self) -> int:
+        """Number of rows (attributes)."""
+        return len(self.attributes)
+
+    def vector(self, attribute: AttributeId) -> np.ndarray:
+        """The truth vector of one attribute."""
+        try:
+            row = self.attributes.index(attribute)
+        except ValueError:
+            raise KeyError(f"unknown attribute {attribute!r}") from None
+        return self.matrix[row]
+
+    def density(self) -> float:
+        """Fraction of observed ranks (1 means no missing data)."""
+        return float(self.mask.mean()) if self.mask.size else 0.0
+
+
+def build_truth_vectors(
+    dataset: Dataset,
+    reference: TruthDiscoveryResult | TruthDiscoveryAlgorithm,
+) -> TruthVectorMatrix:
+    """Compute the matrix of attribute truth vectors (Eq. 1).
+
+    ``reference`` is either a base algorithm (run here on the full
+    dataset) or an already-computed result, so TD-AC can reuse one base
+    run for both the vectors and comparison reporting.
+    """
+    if isinstance(reference, TruthDiscoveryAlgorithm):
+        reference = reference.discover(dataset)
+    objects = dataset.objects
+    sources = dataset.sources
+    attributes = dataset.attributes
+    rank_of = {
+        (o, s): i
+        for i, (o, s) in enumerate(
+            (o, s) for o in objects for s in sources
+        )
+    }
+    n_ranks = len(objects) * len(sources)
+    row_of = {a: i for i, a in enumerate(attributes)}
+    matrix = np.zeros((len(attributes), n_ranks), dtype=np.int8)
+    mask = np.zeros((len(attributes), n_ranks), dtype=bool)
+    predictions = reference.predictions
+    for claim in dataset.iter_claims():
+        row = row_of[claim.attribute]
+        column = rank_of[(claim.object, claim.source)]
+        mask[row, column] = True
+        truth = predictions.get(Fact(claim.object, claim.attribute))
+        if truth is not None and claim.value == truth:
+            matrix[row, column] = 1
+    ranks = tuple((o, s) for o in objects for s in sources)
+    return TruthVectorMatrix(
+        matrix=matrix, mask=mask, attributes=attributes, ranks=ranks
+    )

@@ -1,0 +1,216 @@
+"""Compiled numeric view of a :class:`~repro.data.dataset.Dataset`.
+
+Iterative truth discovery algorithms run tens of passes over every claim,
+so they operate on flat integer arrays rather than on dictionaries.  A
+:class:`DatasetIndex` compiles a dataset once into:
+
+* ``claim_source`` / ``claim_fact`` / ``claim_slot`` — one entry per claim,
+  holding the integer id of the claiming source, the claimed fact, and the
+  *value slot* (the pair (fact, distinct value)) the claim votes for;
+* ``slot_fact`` — the fact id of every value slot, with slots of the same
+  fact contiguous, so per-fact reductions are ``np.*.reduceat`` calls over
+  ``fact_slot_start`` offsets;
+* ``true_slot`` — for every fact, the slot of the ground-truth value if
+  some source actually claimed it, else ``-1``.
+
+The segment helpers (:func:`segment_sum`, :func:`segment_max`,
+:func:`segment_argmax`, :func:`segment_mean`) implement the per-fact
+reductions every algorithm needs (vote totals, soft-max normalisation,
+winner selection).
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.types import Fact, Value
+
+
+def segment_sum(values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    """Sum of ``values`` within each contiguous segment.
+
+    ``starts`` holds the begin offset of every segment plus a final
+    sentinel equal to ``len(values)``.
+    """
+    if len(values) == 0:
+        return np.zeros(len(starts) - 1, dtype=float)
+    return np.add.reduceat(values, starts[:-1])
+
+
+def segment_max(values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    """Maximum of ``values`` within each contiguous segment."""
+    if len(values) == 0:
+        return np.zeros(len(starts) - 1, dtype=float)
+    return np.maximum.reduceat(values, starts[:-1])
+
+
+def segment_argmax(values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    """Index (into ``values``) of the per-segment maximum.
+
+    Ties break toward the lowest index, i.e. the earliest-seen value slot,
+    which makes winner selection deterministic.
+    """
+    n_segments = len(starts) - 1
+    out = np.empty(n_segments, dtype=np.int64)
+    maxima = segment_max(values, starts)
+    is_max = values == np.repeat(maxima, np.diff(starts))
+    positions = np.arange(len(values))
+    # First position achieving the max in each segment.
+    candidates = np.where(is_max, positions, len(values))
+    out = np.minimum.reduceat(candidates, starts[:-1]) if len(values) else out
+    return out
+
+
+def segment_mean(values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    """Mean of ``values`` within each contiguous segment."""
+    sizes = np.diff(starts)
+    sums = segment_sum(values, starts)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        means = np.where(sizes > 0, sums / np.maximum(sizes, 1), 0.0)
+    return means
+
+
+class DatasetIndex:
+    """Flat integer-array view of a dataset for vectorised algorithms."""
+
+    def __init__(self, dataset: Dataset) -> None:
+        self._dataset = dataset
+        facts = dataset.facts
+        self.facts: tuple[Fact, ...] = facts
+        self.n_sources = len(dataset.sources)
+        self.n_facts = len(facts)
+        self._source_id = {s: i for i, s in enumerate(dataset.sources)}
+
+        slot_values: list[Value] = []
+        slot_fact: list[int] = []
+        fact_slot_start = [0]
+        claim_source: list[int] = []
+        claim_fact: list[int] = []
+        claim_slot: list[int] = []
+        true_slot = np.full(self.n_facts, -1, dtype=np.int64)
+
+        by_fact = dataset.claims_by_fact
+        for f_id, fact in enumerate(facts):
+            claims = by_fact[fact]
+            local: dict[Value, int] = {}
+            for claim in claims:
+                slot = local.get(claim.value)
+                if slot is None:
+                    slot = len(slot_values)
+                    local[claim.value] = slot
+                    slot_values.append(claim.value)
+                    slot_fact.append(f_id)
+                claim_source.append(self._source_id[claim.source])
+                claim_fact.append(f_id)
+                claim_slot.append(slot)
+            fact_slot_start.append(len(slot_values))
+            truth = dataset.true_value(fact)
+            if truth is not None and truth in local:
+                true_slot[f_id] = local[truth]
+
+        self.slot_values: tuple[Value, ...] = tuple(slot_values)
+        self.slot_fact = np.asarray(slot_fact, dtype=np.int64)
+        self.fact_slot_start = np.asarray(fact_slot_start, dtype=np.int64)
+        self.claim_source = np.asarray(claim_source, dtype=np.int64)
+        self.claim_fact = np.asarray(claim_fact, dtype=np.int64)
+        self.claim_slot = np.asarray(claim_slot, dtype=np.int64)
+        self.true_slot = true_slot
+        self.n_slots = len(slot_values)
+        self.n_claims = len(claim_source)
+
+    @property
+    def dataset(self) -> Dataset:
+        """The dataset this index was compiled from."""
+        return self._dataset
+
+    @cached_property
+    def claims_per_source(self) -> np.ndarray:
+        """Number of claims made by every source (may contain zeros)."""
+        return np.bincount(self.claim_source, minlength=self.n_sources).astype(float)
+
+    @cached_property
+    def claims_per_fact(self) -> np.ndarray:
+        """Number of claims received by every fact."""
+        return np.bincount(self.claim_fact, minlength=self.n_facts).astype(float)
+
+    @cached_property
+    def slots_per_fact(self) -> np.ndarray:
+        """Number of distinct claimed values per fact."""
+        return np.diff(self.fact_slot_start).astype(float)
+
+    @cached_property
+    def votes_per_slot(self) -> np.ndarray:
+        """Number of sources voting for every value slot."""
+        return np.bincount(self.claim_slot, minlength=self.n_slots).astype(float)
+
+    @cached_property
+    def _tie_breaker(self) -> np.ndarray:
+        """Deterministic pseudo-random slot ranks for breaking exact ties.
+
+        Breaking ties by first-seen slot correlates with source order,
+        which silently hands every tied fact to whichever source happens
+        to be enumerated first; a fixed random permutation decorrelates
+        the choice while keeping runs reproducible.
+        """
+        rng = np.random.default_rng(0x7B5 + self.n_slots)
+        return rng.permutation(self.n_slots).astype(float)
+
+    # ------------------------------------------------------------------
+    # Core reductions used by the algorithm engine
+    # ------------------------------------------------------------------
+
+    def slot_scores(self, source_weight: np.ndarray) -> np.ndarray:
+        """Weighted vote total of every slot given per-source weights."""
+        return np.bincount(
+            self.claim_slot,
+            weights=source_weight[self.claim_source],
+            minlength=self.n_slots,
+        )
+
+    def normalize_per_fact(self, slot_score: np.ndarray) -> np.ndarray:
+        """Scale slot scores so they sum to one within every fact."""
+        totals = segment_sum(slot_score, self.fact_slot_start)
+        safe = np.where(totals > 0, totals, 1.0)
+        return slot_score / safe[self.slot_fact]
+
+    def softmax_per_fact(self, slot_score: np.ndarray) -> np.ndarray:
+        """Numerically-stable soft-max of slot scores within every fact."""
+        maxima = segment_max(slot_score, self.fact_slot_start)
+        shifted = np.exp(slot_score - maxima[self.slot_fact])
+        totals = segment_sum(shifted, self.fact_slot_start)
+        return shifted / totals[self.slot_fact]
+
+    def winning_slots(self, slot_score: np.ndarray) -> np.ndarray:
+        """Per-fact slot id with the highest score.
+
+        Exact ties break by a fixed pseudo-random slot rank (see
+        ``_tie_breaker``), not by claim order.
+        """
+        maxima = segment_max(slot_score, self.fact_slot_start)
+        is_max = slot_score == maxima[self.slot_fact]
+        candidates = np.where(is_max, self._tie_breaker, -1.0)
+        return segment_argmax(candidates, self.fact_slot_start)
+
+    def source_mean_of_slots(self, slot_value: np.ndarray) -> np.ndarray:
+        """Per-source mean of a per-slot quantity over the slots it voted for.
+
+        This is the generic "trustworthiness = average confidence of
+        provided values" update.  Sources with no claims get 0.
+        """
+        sums = np.bincount(
+            self.claim_source,
+            weights=slot_value[self.claim_slot],
+            minlength=self.n_sources,
+        )
+        counts = self.claims_per_source
+        return np.where(counts > 0, sums / np.maximum(counts, 1.0), 0.0)
+
+    def predictions_from_slots(self, winners: np.ndarray) -> dict[Fact, Value]:
+        """Materialise per-fact winning slots into a fact → value mapping."""
+        return {
+            fact: self.slot_values[winners[f_id]]
+            for f_id, fact in enumerate(self.facts)
+        }

@@ -1,0 +1,152 @@
+"""Claim normalisation: canonicalise near-identical values per fact.
+
+Real multi-source corpora rarely disagree cleanly: two stock sites
+report 10.00 and 10.001, two book sellers list "J. K. Rowling" and
+"Rowling, J.K.".  Treating those as distinct candidate values splits
+their votes and biases every algorithm toward exact-string cliques, so
+deep-web evaluations (Li et al. 2012) normalise values first.
+
+:func:`normalize_dataset` merges, within each fact, every group of
+values whose pairwise similarity reaches ``threshold`` (single-linkage,
+via union-find) and rewrites the claims with one canonical
+representative per group — the value claimed most often, ties broken by
+first appearance.  Ground truth is remapped through the same
+canonicalisation so evaluation stays consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.algorithms.similarity import value_similarity
+from repro.data.builder import DatasetBuilder
+from repro.data.dataset import Dataset
+from repro.data.types import Fact, Value
+
+
+class UnionFind:
+    """Minimal union-find over integer ids with path compression."""
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        self._parent = list(range(size))
+
+    def find(self, item: int) -> int:
+        """Root of ``item``'s set."""
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:  # path compression
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        """Merge the sets containing ``a`` and ``b``."""
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a != root_b:
+            # Deterministic: lower root wins.
+            low, high = sorted((root_a, root_b))
+            self._parent[high] = low
+
+    def groups(self) -> list[list[int]]:
+        """All sets, each sorted, ordered by their smallest member."""
+        by_root: dict[int, list[int]] = {}
+        for item in range(len(self._parent)):
+            by_root.setdefault(self.find(item), []).append(item)
+        return [by_root[root] for root in sorted(by_root)]
+
+
+@dataclass(frozen=True)
+class NormalizationReport:
+    """What :func:`normalize_dataset` changed."""
+
+    n_facts_touched: int
+    n_values_merged: int
+    canonical_of: Mapping[tuple[Fact, Value], Value] = field(default_factory=dict)
+
+
+def canonicalize_fact_values(
+    values: tuple[Value, ...],
+    counts: Mapping[Value, int],
+    threshold: float,
+) -> dict[Value, Value]:
+    """Map each distinct value of one fact to its canonical form."""
+    n = len(values)
+    uf = UnionFind(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if value_similarity(values[i], values[j]) >= threshold:
+                uf.union(i, j)
+    mapping: dict[Value, Value] = {}
+    for group in uf.groups():
+        members = [values[i] for i in group]
+        canonical = max(members, key=lambda v: (counts.get(v, 0), -members.index(v)))
+        for value in members:
+            mapping[value] = canonical
+    return mapping
+
+
+def normalize_dataset(
+    dataset: Dataset, threshold: float = 0.9
+) -> tuple[Dataset, NormalizationReport]:
+    """Merge near-identical values per fact; return the new dataset.
+
+    ``threshold`` is the minimum pairwise similarity for two values to be
+    considered the same real-world value.  1.0 leaves the dataset
+    untouched; lower values merge more aggressively (single linkage, so
+    chains of borderline-similar values can coalesce).
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    builder = DatasetBuilder(name=f"{dataset.name} (normalised)")
+    builder.declare_sources(dataset.sources)
+    builder.declare_objects(dataset.objects)
+    builder.declare_attributes(dataset.attributes)
+
+    canonical_of: dict[tuple[Fact, Value], Value] = {}
+    facts_touched = 0
+    values_merged = 0
+    for fact, claims in dataset.claims_by_fact.items():
+        values = dataset.values_for(fact)
+        counts: dict[Value, int] = {}
+        for claim in claims:
+            counts[claim.value] = counts.get(claim.value, 0) + 1
+        mapping = canonicalize_fact_values(values, counts, threshold)
+        changed = sum(1 for v, c in mapping.items() if v != c)
+        if changed:
+            facts_touched += 1
+            values_merged += changed
+        for value, canonical in mapping.items():
+            canonical_of[(fact, value)] = canonical
+        for claim in claims:
+            canonical = mapping[claim.value]
+            existing = builder._claims.get(  # noqa: SLF001 - same package
+                (claim.source, claim.object, claim.attribute)
+            )
+            if existing is None:
+                builder.add_claim(
+                    claim.source, claim.object, claim.attribute, canonical
+                )
+    # Remap ground truth through the same canonicalisation.  A truth
+    # that was claimed verbatim maps directly; a truth nobody asserted
+    # exactly (numeric jitter!) joins the equivalence class of its most
+    # similar claimed value, provided it clears the threshold.
+    for (obj, attribute), value in dataset.truth.items():
+        fact = Fact(obj, attribute)
+        canonical = canonical_of.get((fact, value))
+        if canonical is None:
+            best_value, best_similarity = None, threshold
+            for claimed in dataset.values_for(fact):
+                similarity = value_similarity(value, claimed)
+                if similarity >= best_similarity:
+                    best_value, best_similarity = claimed, similarity
+            if best_value is not None:
+                canonical = canonical_of[(fact, best_value)]
+        builder.set_truth(obj, attribute, canonical if canonical is not None else value)
+    return builder.build(), NormalizationReport(
+        n_facts_touched=facts_touched,
+        n_values_merged=values_merged,
+        canonical_of=canonical_of,
+    )

@@ -1,0 +1,86 @@
+"""Dataset subsampling utilities (coverage sweeps, quick replicas).
+
+The paper's main qualitative finding is that TD-AC's advantage grows
+with the Data Coverage Rate.  To turn that observation into a proper
+curve (ablation A-5) we need the *same* dataset at several coverage
+levels: :func:`thin_coverage` removes a random fraction of the claims
+while guaranteeing every fact keeps at least one claim, so the fact set
+(and hence the evaluation denominator) is stable across the sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.builder import DatasetBuilder
+from repro.data.dataset import Dataset
+
+
+def thin_coverage(
+    dataset: Dataset, keep_fraction: float, seed: int = 0
+) -> Dataset:
+    """Randomly drop claims down to ``keep_fraction`` of the original.
+
+    Every fact keeps at least one claim so the fact universe (and the
+    evaluation denominators) stay comparable across coverage levels.
+    """
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ValueError("keep_fraction must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    builder = DatasetBuilder(
+        name=f"{dataset.name} (coverage x{keep_fraction:.2f})"
+    )
+    builder.declare_sources(dataset.sources)
+    builder.declare_objects(dataset.objects)
+    builder.declare_attributes(dataset.attributes)
+    builder.set_truths(dataset.truth)
+    for fact, claims in dataset.claims_by_fact.items():
+        keep = rng.random(len(claims)) < keep_fraction
+        if not keep.any():
+            keep[int(rng.integers(len(claims)))] = True
+        for claim, kept in zip(claims, keep):
+            if kept:
+                builder.add_claim(
+                    claim.source, claim.object, claim.attribute, claim.value
+                )
+    return builder.build()
+
+
+def sample_objects(dataset: Dataset, n_objects: int, seed: int = 0) -> Dataset:
+    """Restrict the dataset to a random subset of its objects."""
+    if n_objects < 1:
+        raise ValueError("n_objects must be at least 1")
+    if n_objects >= len(dataset.objects):
+        return dataset
+    rng = np.random.default_rng(seed)
+    chosen = set(
+        rng.choice(len(dataset.objects), size=n_objects, replace=False).tolist()
+    )
+    keep = {o for i, o in enumerate(dataset.objects) if i in chosen}
+    builder = DatasetBuilder(name=f"{dataset.name}|{n_objects}objects")
+    builder.declare_sources(dataset.sources)
+    builder.declare_objects([o for o in dataset.objects if o in keep])
+    builder.declare_attributes(dataset.attributes)
+    for claim in dataset.iter_claims():
+        if claim.object in keep:
+            builder.add_claim(
+                claim.source, claim.object, claim.attribute, claim.value
+            )
+    builder.set_truths(
+        {(o, a): v for (o, a), v in dataset.truth.items() if o in keep}
+    )
+    return builder.build()
+
+
+def sample_sources(dataset: Dataset, n_sources: int, seed: int = 0) -> Dataset:
+    """Restrict the dataset to a random subset of its sources."""
+    if n_sources < 1:
+        raise ValueError("n_sources must be at least 1")
+    if n_sources >= len(dataset.sources):
+        return dataset
+    rng = np.random.default_rng(seed)
+    chosen = set(
+        rng.choice(len(dataset.sources), size=n_sources, replace=False).tolist()
+    )
+    keep = [s for i, s in enumerate(dataset.sources) if i in chosen]
+    return dataset.restrict_sources(keep)

@@ -1,0 +1,59 @@
+"""Fundamental value types of the truth discovery data model.
+
+The model follows Section 2.1 of the paper: a structured world with a set
+``O`` of objects, each described by a set ``A`` of attributes, whose values
+are claimed by a collection ``S`` of sources.  A *fact* is a single
+(object, attribute) slot that has exactly one true value in the one-truth
+setting; a *claim* is one source's asserted value for one fact.
+
+All identifiers are plain strings so datasets can be serialised without a
+schema, and values are arbitrary hashable Python objects (strings, ints,
+floats) compared with ``==``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+SourceId = str
+ObjectId = str
+AttributeId = str
+Value = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class Fact:
+    """A single (object, attribute) slot holding one unknown true value."""
+
+    object: ObjectId
+    attribute: AttributeId
+
+    def __str__(self) -> str:
+        return f"{self.object}.{self.attribute}"
+
+
+@dataclass(frozen=True, slots=True)
+class Claim:
+    """One source's asserted value for one fact."""
+
+    source: SourceId
+    object: ObjectId
+    attribute: AttributeId
+    value: Value
+
+    @property
+    def fact(self) -> Fact:
+        """The (object, attribute) slot this claim is about."""
+        return Fact(self.object, self.attribute)
+
+    def __str__(self) -> str:
+        return f"{self.source}: {self.object}.{self.attribute} = {self.value!r}"
+
+
+class DataError(ValueError):
+    """Raised when input data violates the truth discovery data model."""
+
+
+class GroundTruthError(DataError):
+    """Raised when an operation needs ground truth that is not available."""

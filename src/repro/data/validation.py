@@ -1,0 +1,97 @@
+"""Integrity checks over datasets.
+
+:func:`validate_dataset` returns a list of human-readable findings (empty
+when the dataset is clean) instead of raising, so callers can decide which
+findings are fatal in their context.  :func:`check_dataset` is the raising
+variant used by pipelines that require a clean input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.dataset import Dataset
+from repro.data.types import DataError
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One validation finding with a severity and a message."""
+
+    severity: str  # "error" or "warning"
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.message}"
+
+
+def validate_dataset(dataset: Dataset) -> list[Finding]:
+    """Check structural invariants of ``dataset``; return findings."""
+    findings: list[Finding] = []
+
+    claimed_sources = {c.source for c in dataset.iter_claims()}
+    idle = [s for s in dataset.sources if s not in claimed_sources]
+    if idle:
+        findings.append(
+            Finding("warning", f"{len(idle)} source(s) provide no claims")
+        )
+
+    covered_attrs = {c.attribute for c in dataset.iter_claims()}
+    dark = [a for a in dataset.attributes if a not in covered_attrs]
+    if dark:
+        findings.append(
+            Finding("error", f"{len(dark)} attribute(s) receive no claims")
+        )
+
+    covered_objects = {c.object for c in dataset.iter_claims()}
+    ghost = [o for o in dataset.objects if o not in covered_objects]
+    if ghost:
+        findings.append(
+            Finding("warning", f"{len(ghost)} object(s) receive no claims")
+        )
+
+    single_voice = sum(
+        1 for claims in dataset.claims_by_fact.values() if len(claims) < 2
+    )
+    if single_voice:
+        findings.append(
+            Finding(
+                "warning",
+                f"{single_voice} fact(s) have a single claim "
+                "(no conflict to resolve)",
+            )
+        )
+
+    if dataset.has_truth:
+        truth_keys = set(dataset.truth)
+        fact_keys = {(f.object, f.attribute) for f in dataset.facts}
+        orphans = truth_keys - fact_keys
+        if orphans:
+            findings.append(
+                Finding(
+                    "warning",
+                    f"{len(orphans)} ground-truth fact(s) have no claims",
+                )
+            )
+        unclaimed_truths = sum(
+            1
+            for fact in dataset.facts
+            if (truth := dataset.true_value(fact)) is not None
+            and truth not in dataset.values_for(fact)
+        )
+        if unclaimed_truths:
+            findings.append(
+                Finding(
+                    "warning",
+                    f"{unclaimed_truths} fact(s) whose true value no source "
+                    "claims (unreachable truths)",
+                )
+            )
+    return findings
+
+
+def check_dataset(dataset: Dataset) -> None:
+    """Raise :class:`DataError` if ``dataset`` has any error-level finding."""
+    errors = [f for f in validate_dataset(dataset) if f.severity == "error"]
+    if errors:
+        raise DataError("; ".join(f.message for f in errors))

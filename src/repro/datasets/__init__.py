@@ -1,0 +1,61 @@
+"""Dataset generators for every dataset of the paper's evaluation.
+
+* :mod:`~repro.datasets.synthetic` — DS1 / DS2 / DS3 (Tables 3–5);
+* :mod:`~repro.datasets.exam` — the Exam stand-in and its semi-synthetic
+  fillings (Tables 6–8);
+* :mod:`~repro.datasets.stocks` / :mod:`~repro.datasets.flights` — the
+  real-data stand-ins (Tables 8–9);
+* :mod:`~repro.datasets.engine` — the shared group-structured generator;
+* :mod:`~repro.datasets.registry` — name-based access.
+"""
+
+from repro.datasets.books import make_books
+from repro.datasets.engine import (
+    GeneratedDataset,
+    GeneratorConfig,
+    SourceClass,
+    generate,
+    integer_values,
+    token_values,
+)
+from repro.datasets.tokens import token
+from repro.datasets.exam import (
+    DOMAINS,
+    fill_missing,
+    make_exam,
+    make_semi_synthetic,
+)
+from repro.datasets.flights import flights_planted_partition, make_flights
+from repro.datasets.registry import available, load
+from repro.datasets.stocks import make_stocks, stocks_planted_partition
+from repro.datasets.synthetic import (
+    PLANTED_PARTITIONS,
+    TABLE3_LEVELS,
+    make_synthetic,
+    planted_partition,
+)
+
+__all__ = [
+    "DOMAINS",
+    "GeneratedDataset",
+    "GeneratorConfig",
+    "PLANTED_PARTITIONS",
+    "SourceClass",
+    "TABLE3_LEVELS",
+    "available",
+    "fill_missing",
+    "flights_planted_partition",
+    "generate",
+    "integer_values",
+    "load",
+    "make_books",
+    "make_exam",
+    "make_flights",
+    "make_semi_synthetic",
+    "make_stocks",
+    "make_synthetic",
+    "planted_partition",
+    "stocks_planted_partition",
+    "token",
+    "token_values",
+]

@@ -1,0 +1,103 @@
+"""Simulator of a **Books** author-list corpus (Yin et al.'s domain).
+
+TruthFinder's original evaluation (TKDE 2008) fused author lists of
+computer-science books from online bookstores — the archetypal
+*list-valued* truth discovery workload: stores drop middle authors,
+truncate long lists, or copy each other's records wholesale.  The paper
+reproduced here does not evaluate on Books, but the corpus type
+exercises two pieces of this library nothing else does:
+
+* tuple-valued claims compared with the Jaccard sequence kernel
+  (:func:`repro.algorithms.similarity.sequence_similarity`), which
+  drives TruthFinder's implication and AccuSim's support on lists;
+* error models that *degrade* the truth (dropped / reordered authors)
+  rather than substituting an unrelated value.
+
+Sources:
+
+* *publisher* feeds — near-perfect lists;
+* *store* sites — occasionally drop a middle author or truncate;
+* *aggregator* sites — syndicate one shared degraded record (a copying
+  clique for the Accu family to find).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.builder import DatasetBuilder
+from repro.data.dataset import Dataset
+from repro.datasets.tokens import token
+
+_FIRST = 0x2000  # token id offset so author names never collide with
+# other generators' value streams
+
+
+def _author(k: int) -> str:
+    return token(_FIRST + k)
+
+
+def make_books(
+    n_books: int = 80,
+    seed: int = 0,
+    n_publishers: int = 3,
+    n_stores: int = 10,
+    n_aggregators: int = 8,
+) -> Dataset:
+    """Generate the Books stand-in: one ``authors`` attribute per book.
+
+    Every claim value is a *tuple* of author-name tokens; ground truth
+    is the full list.
+    """
+    if n_books < 1:
+        raise ValueError("need at least one book")
+    rng = np.random.default_rng(seed)
+    builder = DatasetBuilder(name="Books")
+    publishers = [f"publisher-{i + 1}" for i in range(n_publishers)]
+    stores = [f"store-{i + 1}" for i in range(n_stores)]
+    aggregators = [f"aggregator-{i + 1}" for i in range(n_aggregators)]
+    builder.declare_sources(publishers + stores + aggregators)
+
+    author_pool = 0
+    for b in range(n_books):
+        book = f"book{b + 1}"
+        n_authors = int(rng.integers(1, 5))
+        authors = tuple(_author(author_pool + i) for i in range(n_authors))
+        author_pool += n_authors
+        builder.set_truth(book, "authors", authors)
+
+        # One shared degraded record for the aggregator clique.
+        degraded = _degrade(authors, rng, severity=0.5)
+
+        for source in publishers:
+            value = authors if rng.random() < 0.97 else _degrade(authors, rng, 0.2)
+            if rng.random() < 0.95:  # publishers cover nearly everything
+                builder.add_claim(source, book, "authors", value)
+        for source in stores:
+            if rng.random() >= 0.75:
+                continue
+            value = authors if rng.random() < 0.75 else _degrade(authors, rng, 0.35)
+            builder.add_claim(source, book, "authors", value)
+        for source in aggregators:
+            if rng.random() >= 0.85:
+                continue
+            if rng.random() < 0.8:  # the clique syndicates one record
+                value = degraded
+            else:
+                value = authors
+            builder.add_claim(source, book, "authors", value)
+    return builder.build()
+
+
+def _degrade(authors: tuple, rng: np.random.Generator, severity: float) -> tuple:
+    """Drop or truncate authors; guaranteed different from the input
+    when the list has more than one author."""
+    if len(authors) == 1:
+        # Nothing to drop: misattribute to a lone wrong author.
+        return (_author(0),) if authors != (_author(0),) else (_author(1),)
+    if rng.random() < severity:
+        # Truncate to the first author ("et al." style).
+        return authors[:1]
+    # Drop one non-first author.
+    victim = int(rng.integers(1, len(authors)))
+    return tuple(a for i, a in enumerate(authors) if i != victim)

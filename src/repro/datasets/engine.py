@@ -1,0 +1,299 @@
+"""Shared claim-generation engine for group-structured datasets.
+
+Every dataset in the paper's evaluation (synthetic DS1–DS3, and the
+simulated stand-ins for Stocks and Flights) shares one structural story:
+
+* attributes form *groups* (the planted partition TD-AC must recover);
+* sources form *classes* (cliques with a common reliability profile —
+  e.g. web aggregators that syndicate the same feed);
+* a class × group *reliability matrix* gives the probability that a
+  member of the class reports the true value for a fact in the group —
+  the "structural correlation" of the paper: every source of a class has
+  the same reliability on all attributes of a group;
+* wrong answers are drawn from a small per-fact distractor pool, and
+  members of a class *collude* (pick the same distractor) with a
+  configurable probability — this is what makes low-reliability blocs
+  dangerous for majority voting and what gives the copy detector of the
+  Accu family something to find;
+* coverage is controlled per (source, object) and per attribute, so the
+  Data Coverage Rate of Table 8 can be dialled in.
+
+The engine is deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.data.builder import DatasetBuilder
+from repro.data.dataset import Dataset
+from repro.data.types import Value
+from repro.datasets.tokens import token
+
+ValueFactory = Callable[[np.random.Generator, str, str], tuple[Value, list[Value]]]
+
+
+def integer_values(pool_size: int) -> ValueFactory:
+    """Truth and distractors as small disjoint integers.
+
+    The truth of fact ``i`` is ``i * (pool_size + 1)``; distractors are
+    the next ``pool_size`` integers, so value spaces of distinct facts
+    never overlap.  Note that consecutive integers look *similar* to the
+    numeric-similarity kernel; similarity-aware algorithms should be
+    exercised with :func:`token_values` instead.
+    """
+
+    counter = {"next": 0}
+
+    def factory(
+        rng: np.random.Generator, obj: str, attribute: str
+    ) -> tuple[Value, list[Value]]:
+        base = counter["next"] * (pool_size + 1)
+        counter["next"] += 1
+        return base, [base + d for d in range(1, pool_size + 1)]
+
+    return factory
+
+
+def noisy_numeric_values(
+    pool_size: int,
+    base_range: tuple[float, float] = (10.0, 500.0),
+    jitter: float = 0.0005,
+) -> ValueFactory:
+    """Numeric truths whose *reports* carry per-source rounding noise.
+
+    Models quote-style corpora (stock prices, sensor readings): the true
+    value is a float, distractors are materially different floats, and
+    ``jitter`` is the relative magnitude of benign reporting noise the
+    caller should apply per claim (exposed through the returned
+    factory's ``jitter`` attribute so generators can add it).  Such
+    datasets split the votes of honest sources across near-identical
+    values — the situation :func:`repro.data.normalize.normalize_dataset`
+    exists to repair.
+    """
+
+    def factory(
+        rng: np.random.Generator, obj: str, attribute: str
+    ) -> tuple[Value, list[Value]]:
+        truth = float(np.round(rng.uniform(*base_range), 2))
+        # Distractors differ by 5-40%: clearly wrong, not jitter.
+        pool = [
+            float(np.round(truth * (1.0 + sign * rng.uniform(0.05, 0.4)), 2))
+            for sign, _ in zip(
+                [1, -1] * pool_size, range(pool_size)
+            )
+        ]
+        return truth, pool
+
+    factory.jitter = jitter  # type: ignore[attr-defined]
+    return factory
+
+
+def token_values(pool_size: int) -> ValueFactory:
+    """Truth and distractors as unstructured categorical tokens.
+
+    Values of distinct facts never overlap, and pairwise string
+    similarity between any two labels is low, so similarity-aware
+    algorithms (TruthFinder, AccuSim) see genuinely distinct candidates.
+    This is the engine's default factory.
+    """
+
+    counter = {"next": 0}
+
+    def factory(
+        rng: np.random.Generator, obj: str, attribute: str
+    ) -> tuple[Value, list[Value]]:
+        base = counter["next"] * (pool_size + 1)
+        counter["next"] += 1
+        return token(base), [token(base + d) for d in range(1, pool_size + 1)]
+
+    return factory
+
+
+@dataclass(frozen=True)
+class SourceClass:
+    """A clique of sources sharing a reliability profile.
+
+    Attributes
+    ----------
+    name:
+        Class label, used to derive source identifiers.
+    size:
+        Number of sources in the class.
+    reliability:
+        Per-attribute-group probability of reporting the truth; one entry
+        per attribute group, aligned with ``GeneratorConfig.groups``.
+    collusion:
+        Probability that a wrong answer is the class's shared distractor
+        rather than an independent draw from the pool.
+    """
+
+    name: str
+    size: int
+    reliability: tuple[float, ...]
+    collusion: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("source class must contain at least one source")
+        for level in self.reliability:
+            if not 0.0 <= level <= 1.0:
+                raise ValueError("reliability levels must be in [0, 1]")
+        if not 0.0 <= self.collusion <= 1.0:
+            raise ValueError("collusion must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Full specification of one group-structured dataset."""
+
+    name: str
+    n_objects: int
+    groups: tuple[tuple[str, ...], ...]
+    classes: tuple[SourceClass, ...]
+    #: Probability a source covers an object at all.
+    object_coverage: float = 1.0
+    #: Probability a source covering an object claims each attribute.
+    attribute_coverage: float = 1.0
+    #: Distractor pool size per fact.
+    pool_size: int = 3
+    #: Fraction of facts that are intrinsically hard: every class's
+    #: reliability is scaled by ``hard_fact_factor`` on them.  Models the
+    #: irreducible noise of real corpora (extraction glitches, genuinely
+    #: ambiguous facts) that caps even oracle-partition accuracy below 1.
+    hard_fact_rate: float = 0.0
+    hard_fact_factor: float = 0.3
+    #: Optional custom value factory; defaults to categorical tokens.
+    value_factory: ValueFactory | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_objects < 1:
+            raise ValueError("need at least one object")
+        if not self.groups:
+            raise ValueError("need at least one attribute group")
+        n_groups = len(self.groups)
+        for source_class in self.classes:
+            if len(source_class.reliability) != n_groups:
+                raise ValueError(
+                    f"class {source_class.name!r} has "
+                    f"{len(source_class.reliability)} reliability levels "
+                    f"for {n_groups} groups"
+                )
+        if not 0.0 < self.object_coverage <= 1.0:
+            raise ValueError("object_coverage must be in (0, 1]")
+        if not 0.0 < self.attribute_coverage <= 1.0:
+            raise ValueError("attribute_coverage must be in (0, 1]")
+        if self.pool_size < 1:
+            raise ValueError("pool_size must be at least 1")
+        if not 0.0 <= self.hard_fact_rate <= 1.0:
+            raise ValueError("hard_fact_rate must be in [0, 1]")
+        if not 0.0 <= self.hard_fact_factor <= 1.0:
+            raise ValueError("hard_fact_factor must be in [0, 1]")
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """All attributes, flattened in group order."""
+        return tuple(a for group in self.groups for a in group)
+
+    @property
+    def n_sources(self) -> int:
+        """Total number of sources across classes."""
+        return sum(c.size for c in self.classes)
+
+
+@dataclass(frozen=True)
+class GeneratedDataset:
+    """A generated dataset plus its planted structure, for evaluation."""
+
+    dataset: Dataset
+    planted_groups: tuple[tuple[str, ...], ...]
+    source_class_of: dict[str, str] = field(default_factory=dict)
+
+
+def generate(config: GeneratorConfig) -> GeneratedDataset:
+    """Generate claims according to ``config`` (deterministic per seed)."""
+    rng = np.random.default_rng(config.seed)
+    value_factory = config.value_factory or token_values(config.pool_size)
+    # Quote-style factories expose a relative reporting-noise magnitude;
+    # each emitted numeric claim gets its own rounding jitter.
+    jitter = float(getattr(value_factory, "jitter", 0.0))
+    builder = DatasetBuilder(name=config.name)
+
+    sources: list[str] = []
+    class_of: dict[str, str] = {}
+    for source_class in config.classes:
+        for member in range(source_class.size):
+            source = f"{source_class.name}-{member + 1}"
+            sources.append(source)
+            class_of[source] = source_class.name
+    # Interleave the classes in the declared source order.  Tie-breaking
+    # in vote counting is deterministic toward the earliest-seen value;
+    # declaring a whole class first would hand it every tied fact, which
+    # is an artefact no real corpus has.
+    order = rng.permutation(len(sources))
+    sources = [sources[i] for i in order]
+    builder.declare_sources(sources)
+    objects = [f"o{i + 1}" for i in range(config.n_objects)]
+    builder.declare_objects(objects)
+    builder.declare_attributes(config.attributes)
+
+    group_of_attribute = {
+        attribute: g
+        for g, group in enumerate(config.groups)
+        for attribute in group
+    }
+
+    # Pre-draw which objects each source covers.
+    covers_object = {
+        source: rng.random(config.n_objects) < config.object_coverage
+        for source in sources
+    }
+
+    for o_index, obj in enumerate(objects):
+        for attribute in config.attributes:
+            truth, pool = value_factory(rng, obj, attribute)
+            builder.set_truth(obj, attribute, truth)
+            group = group_of_attribute[attribute]
+            hard = (
+                config.hard_fact_rate > 0.0
+                and rng.random() < config.hard_fact_rate
+            )
+            # One shared distractor per (fact, class): the collusion target.
+            shared = {
+                source_class.name: pool[int(rng.integers(len(pool)))]
+                for source_class in config.classes
+            }
+            for source_class in config.classes:
+                reliability = source_class.reliability[group]
+                if hard:
+                    reliability *= config.hard_fact_factor
+                for member in range(source_class.size):
+                    source = f"{source_class.name}-{member + 1}"
+                    if not covers_object[source][o_index]:
+                        continue
+                    if rng.random() >= config.attribute_coverage:
+                        continue
+                    if rng.random() < reliability:
+                        claim_value = truth
+                    elif rng.random() < source_class.collusion:
+                        claim_value = shared[source_class.name]
+                    else:
+                        claim_value = pool[int(rng.integers(len(pool)))]
+                    if jitter > 0 and isinstance(claim_value, float):
+                        claim_value = float(
+                            np.round(
+                                claim_value
+                                * (1.0 + rng.normal(0.0, jitter)),
+                                2,
+                            )
+                        )
+                    builder.add_claim(source, obj, attribute, claim_value)
+    return GeneratedDataset(
+        dataset=builder.build(),
+        planted_groups=config.groups,
+        source_class_of=class_of,
+    )

@@ -1,0 +1,72 @@
+"""Simulator of the **Flights** dataset (Li et al., VLDB 2012).
+
+The real Flights corpus tracks 38 sources reporting 6 attributes of 100
+flights (scheduled / actual departure and arrival, departure and arrival
+gates).  The stand-in matches the paper's Table 8 row
+(38 / 100 / 6 / 8644 observations / DCR ≈66 %) and plants the structure
+that made partitioning pay off on the real data:
+
+* *schedule* attributes — everybody is accurate (schedules rarely move);
+* *actual times* — flight trackers recycle each other's stale estimates
+  (a large colluding clique), airlines are authoritative;
+* *gates* — airports are authoritative, trackers unreliable.
+"""
+
+from __future__ import annotations
+
+from repro.core.partition import Partition
+from repro.datasets.engine import (
+    GeneratedDataset,
+    GeneratorConfig,
+    SourceClass,
+    generate,
+)
+
+SCHEDULE_ATTRIBUTES = ("sched_dep", "sched_arr")
+ACTUAL_ATTRIBUTES = ("act_dep", "act_arr")
+GATE_ATTRIBUTES = ("dep_gate", "arr_gate")
+
+GROUPS = (SCHEDULE_ATTRIBUTES, ACTUAL_ATTRIBUTES, GATE_ATTRIBUTES)
+
+
+def make_flights(n_objects: int = 100, seed: int = 0) -> GeneratedDataset:
+    """Generate the Flights stand-in (Table 8 row: 38/100/6/8644/66 %)."""
+    classes = (
+        SourceClass(
+            name="airline",
+            size=6,
+            reliability=(0.97, 0.95, 0.60),
+            collusion=0.3,
+        ),
+        SourceClass(
+            name="airport",
+            size=10,
+            reliability=(0.90, 0.70, 0.95),
+            collusion=0.4,
+        ),
+        SourceClass(
+            name="tracker",
+            size=22,
+            reliability=(0.92, 0.25, 0.30),
+            collusion=0.9,
+        ),
+    )
+    return generate(
+        GeneratorConfig(
+            name="Flights",
+            n_objects=n_objects,
+            groups=GROUPS,
+            classes=classes,
+            object_coverage=0.575,
+            attribute_coverage=0.66,
+            pool_size=4,
+            hard_fact_rate=0.06,
+            hard_fact_factor=0.3,
+            seed=seed,
+        )
+    )
+
+
+def flights_planted_partition() -> Partition:
+    """The attribute grouping the generator planted."""
+    return Partition.from_blocks(GROUPS)

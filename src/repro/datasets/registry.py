@@ -1,0 +1,74 @@
+"""Name-based access to every dataset of the paper's evaluation.
+
+Benchmarks and examples ask for datasets by the names the paper's tables
+use (``"DS1"``, ``"Exam 62"``, ``"Stocks"``, ...); this registry builds
+them with their default sizes and seeds.  Sizes can be overridden with
+``scale`` to keep test runs quick.
+"""
+
+from __future__ import annotations
+
+from repro.data.dataset import Dataset
+from repro.datasets.books import make_books
+from repro.datasets.exam import make_exam, make_semi_synthetic
+from repro.datasets.flights import make_flights
+from repro.datasets.stocks import make_stocks
+from repro.datasets.synthetic import make_synthetic
+
+SYNTHETIC_NAMES = ("DS1", "DS2", "DS3")
+EXAM_SLICES = (32, 62, 124)
+SEMI_SYNTHETIC_RANGES = (25, 50, 100, 1000)
+
+
+def load(name: str, seed: int = 0, scale: float = 1.0) -> Dataset:
+    """Build the dataset registered under ``name``.
+
+    ``scale`` shrinks object counts (synthetic / stocks / flights) for
+    quick runs; Exam datasets have a single object and ignore it.
+    """
+    if not 0.0 < scale <= 1.0:
+        raise ValueError("scale must be in (0, 1]")
+    key = name.strip()
+    upper = key.upper()
+    if upper in SYNTHETIC_NAMES:
+        n_objects = max(int(1000 * scale), 10)
+        return make_synthetic(upper, n_objects=n_objects, seed=seed).dataset
+    if upper == "BOOKS":
+        # Bonus corpus (not in the paper's evaluation): list-valued
+        # author claims in TruthFinder's original domain.
+        return make_books(n_books=max(int(80 * scale), 5), seed=seed)
+    if upper == "STOCKS":
+        return make_stocks(n_objects=max(int(100 * scale), 10), seed=seed).dataset
+    if upper == "FLIGHTS":
+        return make_flights(n_objects=max(int(100 * scale), 10), seed=seed).dataset
+    if upper.startswith("EXAM"):
+        remainder = key[4:].strip()
+        try:
+            n_attributes = int(remainder)
+        except ValueError:
+            raise ValueError(
+                f"Exam dataset name must be 'Exam 32|62|124', got {name!r}"
+            ) from None
+        return make_exam(n_attributes, seed=seed)
+    if upper.startswith("SEMI"):
+        # "Semi 62 range 50" style names.
+        parts = key.split()
+        if len(parts) != 4 or parts[2].lower() != "range":
+            raise ValueError(
+                "semi-synthetic names look like 'Semi 62 range 50', "
+                f"got {name!r}"
+            )
+        return make_semi_synthetic(int(parts[1]), int(parts[3]), seed=seed)
+    raise ValueError(f"unknown dataset {name!r}")
+
+
+def available() -> tuple[str, ...]:
+    """All registered dataset names."""
+    names = list(SYNTHETIC_NAMES) + ["Stocks", "Flights", "Books"]
+    names += [f"Exam {n}" for n in EXAM_SLICES]
+    names += [
+        f"Semi {n} range {r}"
+        for n in (62, 124)
+        for r in SEMI_SYNTHETIC_RANGES
+    ]
+    return tuple(names)

@@ -1,0 +1,90 @@
+"""Simulator of the **Stocks** dataset (Li et al., VLDB 2012).
+
+The real Stocks corpus is a deep-web crawl of 55 financial sites serving
+daily data about 100 stock symbols over 15 attributes; it is matched here
+by a group-structured generator dialled to the paper's Table 8 row
+(55 sources / 100 objects / 15 attributes / ≈57 000 observations / DCR
+≈75 %).  The attribute groups and source classes encode what made the
+real corpus interesting for partitioned truth discovery:
+
+* *price* attributes (quotes) — exchanges and aggregators are accurate,
+  scrapers serve stale numbers;
+* *volume / fundamentals* — aggregators syndicate the same sloppy feed
+  (a copying clique), scrapers are decent;
+* *metadata* — similar split.
+
+See DESIGN.md's substitution table for why this preserves the paper's
+experimental shape.
+"""
+
+from __future__ import annotations
+
+from repro.core.partition import Partition
+from repro.datasets.engine import (
+    GeneratedDataset,
+    GeneratorConfig,
+    SourceClass,
+    generate,
+)
+
+PRICE_ATTRIBUTES = (
+    "open",
+    "close",
+    "high",
+    "low",
+    "last_price",
+    "change_pct",
+)
+VOLUME_ATTRIBUTES = (
+    "volume",
+    "avg_volume",
+    "shares_outstanding",
+    "market_cap",
+    "pe_ratio",
+)
+METADATA_ATTRIBUTES = ("dividend", "yield", "eps", "week52_high")
+
+GROUPS = (PRICE_ATTRIBUTES, VOLUME_ATTRIBUTES, METADATA_ATTRIBUTES)
+
+
+def make_stocks(n_objects: int = 100, seed: int = 0) -> GeneratedDataset:
+    """Generate the Stocks stand-in (Table 8 row: 55/100/15/≈57k/75 %)."""
+    classes = (
+        SourceClass(
+            name="exchange",
+            size=8,
+            reliability=(0.92, 0.85, 0.85),
+            collusion=0.2,
+        ),
+        SourceClass(
+            name="aggregator",
+            size=30,
+            reliability=(0.85, 0.35, 0.40),
+            collusion=0.55,
+        ),
+        SourceClass(
+            name="scraper",
+            size=17,
+            reliability=(0.45, 0.65, 0.60),
+            collusion=0.55,
+        ),
+    )
+    return generate(
+        GeneratorConfig(
+            name="Stocks",
+            n_objects=n_objects,
+            groups=GROUPS,
+            classes=classes,
+            object_coverage=0.92,
+            attribute_coverage=0.75,
+            pool_size=4,
+            hard_fact_rate=0.15,
+            hard_fact_factor=0.25,
+            seed=seed,
+        )
+    )
+
+
+def stocks_planted_partition() -> Partition:
+    """The attribute grouping the generator planted."""
+    return Partition.from_blocks(GROUPS)

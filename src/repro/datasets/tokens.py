@@ -1,0 +1,26 @@
+"""Unstructured categorical value labels for generated datasets.
+
+Generated claim values are compared by the library's similarity kernels
+(TruthFinder implication, AccuSim).  Systematic labels — consecutive
+integers, ``fill7`` / ``fill12`` strings — look nearly identical to
+those kernels and manufacture support between unrelated wrong answers,
+so generators draw value labels from this deterministic token stream:
+pseudo-random 6-letter strings whose pairwise similarity is low and
+unstructured.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+@lru_cache(maxsize=None)
+def token(k: int) -> str:
+    """Deterministic pseudo-random 6-letter label for id ``k``."""
+    rng = np.random.default_rng(0xE8A + k)
+    letters = rng.integers(0, len(_ALPHABET), size=6)
+    return "".join(_ALPHABET[i] for i in letters)

@@ -1,0 +1,129 @@
+"""Result analysis: where did a truth discovery run go right or wrong?
+
+Post-hoc diagnostics a practitioner needs before trusting a resolution:
+
+* :func:`trust_calibration` — how well do the algorithm's estimated
+  source reliabilities track the *true* per-source accuracies (Pearson
+  correlation plus mean absolute error after rank-preserving scaling);
+* :func:`per_attribute_accuracy` — which attributes the run resolves
+  well, the natural view for spotting the structural correlation TD-AC
+  exploits;
+* :func:`disagreement_profile` — how contested the dataset is (claims
+  per fact, distinct values per fact, margin of the winning vote).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.algorithms.base import TruthDiscoveryResult
+from repro.data.dataset import Dataset
+from repro.data.types import AttributeId, Fact, Value
+from repro.metrics.classification import source_accuracy
+
+
+@dataclass(frozen=True)
+class TrustCalibration:
+    """Agreement between estimated trust and true source accuracy."""
+
+    correlation: float
+    mean_absolute_error: float
+    n_sources: int
+
+    def is_informative(self, threshold: float = 0.5) -> bool:
+        """Whether estimated trust ranks sources better than chance."""
+        return self.correlation >= threshold
+
+
+def trust_calibration(
+    dataset: Dataset, result: TruthDiscoveryResult
+) -> TrustCalibration:
+    """Compare estimated per-source trust against ground-truth accuracy.
+
+    Estimated trusts live on algorithm-specific scales, so they are
+    min-max rescaled before the mean-absolute-error comparison; the
+    correlation is scale-free.
+    """
+    true_accuracy = source_accuracy(dataset)
+    sources = [s for s in dataset.sources if s in true_accuracy]
+    if len(sources) < 2:
+        raise ValueError("need at least two sources with claims")
+    estimated = np.array([result.source_trust.get(s, 0.0) for s in sources])
+    actual = np.array([true_accuracy[s] for s in sources])
+    if np.ptp(estimated) > 0:
+        scaled = (estimated - estimated.min()) / np.ptp(estimated)
+    else:
+        scaled = np.full_like(estimated, 0.5)
+    if np.ptp(estimated) == 0 or np.ptp(actual) == 0:
+        correlation = 0.0
+    else:
+        correlation = float(np.corrcoef(estimated, actual)[0, 1])
+    return TrustCalibration(
+        correlation=correlation,
+        mean_absolute_error=float(np.abs(scaled - actual).mean()),
+        n_sources=len(sources),
+    )
+
+
+def per_attribute_accuracy(
+    dataset: Dataset, result: TruthDiscoveryResult
+) -> Mapping[AttributeId, float]:
+    """Fraction of facts resolved correctly, per attribute."""
+    correct: dict[AttributeId, int] = {}
+    total: dict[AttributeId, int] = {}
+    for fact in dataset.facts:
+        truth = dataset.true_value(fact)
+        predicted = result.predictions.get(fact)
+        if truth is None or predicted is None:
+            continue
+        total[fact.attribute] = total.get(fact.attribute, 0) + 1
+        if predicted == truth:
+            correct[fact.attribute] = correct.get(fact.attribute, 0) + 1
+    return {
+        attribute: correct.get(attribute, 0) / count
+        for attribute, count in total.items()
+    }
+
+
+@dataclass(frozen=True)
+class DisagreementProfile:
+    """How contested a dataset is, aggregated over facts."""
+
+    mean_claims_per_fact: float
+    mean_distinct_values: float
+    mean_winning_margin: float
+    n_unanimous_facts: int
+    n_facts: int
+
+
+def disagreement_profile(dataset: Dataset) -> DisagreementProfile:
+    """Aggregate conflict statistics over all facts."""
+    claims_counts = []
+    distinct_counts = []
+    margins = []
+    unanimous = 0
+    for fact, claims in dataset.claims_by_fact.items():
+        counts: dict[Value, int] = {}
+        for claim in claims:
+            counts[claim.value] = counts.get(claim.value, 0) + 1
+        ordered = sorted(counts.values(), reverse=True)
+        claims_counts.append(len(claims))
+        distinct_counts.append(len(counts))
+        top = ordered[0]
+        runner_up = ordered[1] if len(ordered) > 1 else 0
+        margins.append((top - runner_up) / len(claims))
+        if len(counts) == 1:
+            unanimous += 1
+    n_facts = len(claims_counts)
+    if n_facts == 0:
+        raise ValueError("dataset has no facts")
+    return DisagreementProfile(
+        mean_claims_per_fact=float(np.mean(claims_counts)),
+        mean_distinct_values=float(np.mean(distinct_counts)),
+        mean_winning_margin=float(np.mean(margins)),
+        n_unanimous_facts=unanimous,
+        n_facts=n_facts,
+    )

@@ -1,0 +1,167 @@
+"""Per-experiment drivers for every table and figure of the paper.
+
+Each function regenerates the data behind one artefact (see the
+experiment index in DESIGN.md) and returns plain records the benchmarks
+print.  Sizes default to the paper's, with a ``scale`` knob so tests and
+benches can trade fidelity for speed (the brute-force AccuGenPartition
+rows are Bell(6) = 203 full base-algorithm sweeps and dominate cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.algorithms import (
+    Accu,
+    AccuSim,
+    Depen,
+    MajorityVote,
+    TruthFinder,
+)
+from repro.algorithms.base import TruthDiscoveryAlgorithm
+from repro.baselines.gen_partition import AccuGenPartition
+from repro.core.partition import Partition
+from repro.core.tdac import TDAC
+from repro.data.dataset import Dataset
+from repro.data.stats import DatasetStats, dataset_stats
+from repro.datasets.exam import make_semi_synthetic
+from repro.datasets.registry import load
+from repro.datasets.synthetic import planted_partition
+from repro.evaluation.runner import PerformanceRecord, run_algorithm
+
+
+def standard_suite() -> list[TruthDiscoveryAlgorithm]:
+    """The five standard algorithms of the paper's comparison."""
+    return [MajorityVote(), TruthFinder(), Depen(), Accu(), AccuSim()]
+
+
+def table4_experiment(
+    dataset_name: str,
+    scale: float = 1.0,
+    gen_partition_scale: float | None = 0.05,
+    seed: int = 0,
+) -> list[PerformanceRecord]:
+    """Tables 4a–4c: the full comparison on one synthetic dataset.
+
+    ``gen_partition_scale`` shrinks the dataset for the brute-force rows
+    only (the paper itself reports them as ~200x slower); ``None`` skips
+    those rows entirely.
+    """
+    dataset = load(dataset_name, seed=seed, scale=scale)
+    records = [
+        run_algorithm(algorithm, dataset) for algorithm in standard_suite()
+    ]
+    if gen_partition_scale is not None:
+        gen_dataset = (
+            dataset
+            if gen_partition_scale == scale
+            else load(dataset_name, seed=seed, scale=gen_partition_scale)
+        )
+        for weighting in ("max", "avg", "oracle"):
+            baseline = AccuGenPartition(Accu(), weighting=weighting)
+            records.append(run_algorithm(baseline, gen_dataset))
+    records.append(run_algorithm(TDAC(Accu(), seed=seed), dataset))
+    return records
+
+
+def figure1_series(
+    records_by_dataset: Mapping[str, Sequence[PerformanceRecord]],
+) -> dict[str, dict[str, float]]:
+    """Figure 1: accuracy of every algorithm per synthetic dataset."""
+    return {
+        dataset_name: {r.algorithm: r.accuracy for r in records}
+        for dataset_name, records in records_by_dataset.items()
+    }
+
+
+@dataclass(frozen=True)
+class PartitionRow:
+    """One row of Table 5: which partition an approach selected."""
+
+    approach: str
+    dataset: str
+    partition: Partition
+
+    def as_row(self) -> tuple:
+        return (self.approach, self.dataset, str(self.partition))
+
+
+def table5_experiment(
+    dataset_name: str,
+    scale: float = 0.1,
+    seed: int = 0,
+) -> list[PartitionRow]:
+    """Table 5: partitions chosen by the generator, AccuGenPartition
+    (Max / Avg / Oracle) and TD-AC."""
+    dataset = load(dataset_name, seed=seed, scale=scale)
+    rows = [
+        PartitionRow(
+            "Synthetic data generator",
+            dataset_name,
+            planted_partition(dataset_name),
+        )
+    ]
+    for weighting in ("max", "avg", "oracle"):
+        baseline = AccuGenPartition(Accu(), weighting=weighting)
+        result = baseline.run(dataset)
+        rows.append(
+            PartitionRow(
+                f"AccuGenPartition ({weighting.capitalize()})",
+                dataset_name,
+                result.partition,
+            )
+        )
+    tdac_result = TDAC(Accu(), seed=seed).run(dataset)
+    rows.append(PartitionRow("TD-AC (F=Accu)", dataset_name, tdac_result.partition))
+    return rows
+
+
+def semi_synthetic_experiment(
+    n_attributes: int,
+    range_size: int,
+    seed: int = 0,
+) -> list[PerformanceRecord]:
+    """Tables 6 and 7: Accu / TD-AC+Accu / TruthFinder / TD-AC+TruthFinder
+    on a semi-synthetic Exam slice."""
+    dataset = make_semi_synthetic(n_attributes, range_size, seed=seed)
+    return _pairwise_records(dataset, seed=seed)
+
+
+def table8_experiment(seed: int = 0, scale: float = 1.0) -> list[DatasetStats]:
+    """Table 8: statistics of the real datasets."""
+    names = ("Stocks", "Exam 32", "Exam 62", "Exam 124", "Flights")
+    return [dataset_stats(load(name, seed=seed, scale=scale)) for name in names]
+
+
+def table9_experiment(
+    dataset_name: str,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> list[PerformanceRecord]:
+    """Table 9: the four-algorithm comparison on one real dataset."""
+    dataset = load(dataset_name, seed=seed, scale=scale)
+    return _pairwise_records(dataset, seed=seed)
+
+
+def pairwise_accuracy_series(
+    records_by_dataset: Mapping[str, Sequence[PerformanceRecord]],
+) -> dict[str, dict[str, float]]:
+    """Figures 2–5: base-vs-TD-AC accuracy pairs per dataset."""
+    series: dict[str, dict[str, float]] = {}
+    for dataset_name, records in records_by_dataset.items():
+        series[dataset_name] = {r.algorithm: r.accuracy for r in records}
+    return series
+
+
+def _pairwise_records(
+    dataset: Dataset, seed: int
+) -> list[PerformanceRecord]:
+    """Accu / TD-AC(F=Accu) / TruthFinder / TD-AC(F=TruthFinder)."""
+    algorithms: list[TruthDiscoveryAlgorithm | TDAC] = [
+        Accu(),
+        TDAC(Accu(), seed=seed),
+        TruthFinder(),
+        TDAC(TruthFinder(), seed=seed),
+    ]
+    return [run_algorithm(algorithm, dataset) for algorithm in algorithms]

@@ -1,0 +1,58 @@
+"""Leaderboard: every registered algorithm on one dataset, ranked.
+
+The first question a practitioner asks of a new corpus is "which
+algorithm should I even use here?".  :func:`leaderboard` answers it by
+running the whole registry (optionally TD-AC-wrapped as well), ranking
+by accuracy and reporting the ranking in the paper's table layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.algorithms.registry import available, create
+from repro.core.tdac import TDAC
+from repro.data.dataset import Dataset
+from repro.evaluation.runner import PerformanceRecord, run_algorithm
+
+
+@dataclass(frozen=True)
+class LeaderboardEntry:
+    """One ranked row of a leaderboard."""
+
+    rank: int
+    record: PerformanceRecord
+
+    def as_row(self) -> tuple:
+        return (self.rank,) + self.record.as_row()
+
+
+def leaderboard(
+    dataset: Dataset,
+    include_tdac: bool = True,
+    algorithms: Sequence[str] | None = None,
+    seed: int = 0,
+) -> list[LeaderboardEntry]:
+    """Run the registry on ``dataset`` and rank by accuracy.
+
+    ``algorithms`` restricts to a subset of registry names; by default
+    every registered algorithm runs, each optionally also wrapped in
+    TD-AC.  Ties rank by precision, then by wall time (faster first).
+    """
+    names = tuple(algorithms) if algorithms is not None else available()
+    records: list[PerformanceRecord] = []
+    for name in names:
+        records.append(run_algorithm(create(name), dataset))
+        if include_tdac:
+            records.append(
+                run_algorithm(TDAC(create(name), seed=seed), dataset)
+            )
+    ranked = sorted(
+        records,
+        key=lambda r: (-r.accuracy, -r.precision, r.elapsed_seconds),
+    )
+    return [
+        LeaderboardEntry(rank=i + 1, record=record)
+        for i, record in enumerate(ranked)
+    ]

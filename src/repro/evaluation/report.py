@@ -1,0 +1,84 @@
+"""Assemble regenerated bench artefacts into one markdown report.
+
+Every benchmark writes its regenerated table/figure under
+``benchmarks/output/``; :func:`build_report` stitches those text
+artefacts into a single markdown document (the measured appendix of
+EXPERIMENTS.md).  Keeping the assembly in the library makes the
+paper-vs-measured record reproducible with one command::
+
+    python -c "from repro.evaluation.report import build_report, write_report; \
+               write_report('benchmarks/output', 'EXPERIMENTS_MEASURED.md')"
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+#: Display order and section headers of the known artefacts.
+SECTIONS: tuple[tuple[str, str], ...] = (
+    ("table3", "Table 3 — synthetic generator configurations"),
+    ("table4", "Tables 4a–4c — synthetic datasets"),
+    ("figure1", "Figure 1 — accuracy on DS1–DS3"),
+    ("table5", "Table 5 — partitions returned"),
+    ("table6", "Table 6 — semi-synthetic, 62 attributes"),
+    ("table7", "Table 7 — semi-synthetic, 124 attributes"),
+    ("figure2", "Figure 2 — pairwise accuracy, 62 attributes"),
+    ("figure3", "Figure 3 — pairwise accuracy, 124 attributes"),
+    ("table8", "Table 8 — real dataset statistics"),
+    ("table9", "Table 9 — real datasets"),
+    ("figure4", "Figure 4 — TD-AC impact at high coverage"),
+    ("figure5", "Figure 5 — TD-AC impact at low coverage"),
+    ("ablation", "Ablations A-1 … A-6"),
+    ("extension", "Extension experiments"),
+)
+
+
+def collect_artifacts(output_dir: str | Path) -> dict[str, str]:
+    """Read every ``*.txt`` artefact in ``output_dir``, keyed by stem."""
+    directory = Path(output_dir)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"no artefact directory at {directory}")
+    return {
+        path.stem: path.read_text().rstrip()
+        for path in sorted(directory.glob("*.txt"))
+    }
+
+
+def build_report(output_dir: str | Path, title: str = "Measured artefacts") -> str:
+    """Render all artefacts as one markdown document."""
+    artifacts = collect_artifacts(output_dir)
+    lines = [f"# {title}", ""]
+    used: set[str] = set()
+    for prefix, header in SECTIONS:
+        matching = [name for name in artifacts if name.startswith(prefix)]
+        if not matching:
+            continue
+        lines.append(f"## {header}")
+        lines.append("")
+        for name in sorted(matching):
+            used.add(name)
+            lines.append("```text")
+            lines.append(artifacts[name])
+            lines.append("```")
+            lines.append("")
+    leftovers = sorted(set(artifacts) - used)
+    if leftovers:
+        lines.append("## Other artefacts")
+        lines.append("")
+        for name in leftovers:
+            lines.append("```text")
+            lines.append(artifacts[name])
+            lines.append("```")
+            lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def write_report(
+    output_dir: str | Path,
+    destination: str | Path,
+    title: str = "Measured artefacts",
+) -> Path:
+    """Build the report and write it to ``destination``."""
+    destination = Path(destination)
+    destination.write_text(build_report(output_dir, title=title))
+    return destination

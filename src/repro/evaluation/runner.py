@@ -1,0 +1,103 @@
+"""Uniform algorithm execution with the paper's reporting columns.
+
+:func:`run_algorithm` executes any algorithm-like object (a plain
+:class:`TruthDiscoveryAlgorithm`, a :class:`TDAC`, or an
+:class:`AccuGenPartition`) on a dataset and produces a
+:class:`PerformanceRecord` holding exactly the columns of Tables 4, 6, 7
+and 9: precision, recall, accuracy, F1-measure, wall time, iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.algorithms.base import TruthDiscoveryAlgorithm, TruthDiscoveryResult
+from repro.baselines.gen_partition import AccuGenPartition
+from repro.core.partition import Partition
+from repro.core.tdac import TDAC
+from repro.data.dataset import Dataset
+from repro.metrics.classification import evaluate_predictions, fact_accuracy
+
+
+@dataclass(frozen=True)
+class PerformanceRecord:
+    """One row of a paper-style performance table."""
+
+    dataset: str
+    algorithm: str
+    precision: float
+    recall: float
+    accuracy: float
+    f1: float
+    elapsed_seconds: float
+    iterations: int
+    fact_accuracy: float
+    partition: Partition | None = None
+
+    def as_row(self) -> tuple:
+        """The (algorithm, P, R, A, F1, time, iterations) table row."""
+        return (
+            self.algorithm,
+            round(self.precision, 3),
+            round(self.recall, 3),
+            round(self.accuracy, 3),
+            round(self.f1, 3),
+            round(self.elapsed_seconds, 3),
+            self.iterations,
+        )
+
+
+def run_algorithm(
+    algorithm: TruthDiscoveryAlgorithm | TDAC | AccuGenPartition,
+    dataset: Dataset,
+) -> PerformanceRecord:
+    """Execute ``algorithm`` on ``dataset`` and evaluate against truth."""
+    partition: Partition | None = None
+    if isinstance(algorithm, TDAC):
+        tdac_result = algorithm.run(dataset)
+        result = tdac_result.result
+        partition = tdac_result.partition
+    elif isinstance(algorithm, AccuGenPartition):
+        gen_result = algorithm.run(dataset)
+        result = gen_result.result
+        partition = gen_result.partition
+    else:
+        result = algorithm.discover(dataset)
+    return record_from_result(dataset, result, partition)
+
+
+def record_from_result(
+    dataset: Dataset,
+    result: TruthDiscoveryResult,
+    partition: Partition | None = None,
+) -> PerformanceRecord:
+    """Build a performance record from an already-computed result."""
+    report = evaluate_predictions(dataset, result.predictions)
+    return PerformanceRecord(
+        dataset=dataset.name,
+        algorithm=result.algorithm,
+        precision=report.precision,
+        recall=report.recall,
+        accuracy=report.accuracy,
+        f1=report.f1,
+        elapsed_seconds=result.elapsed_seconds,
+        iterations=result.iterations,
+        fact_accuracy=fact_accuracy(dataset, result.predictions),
+        partition=partition,
+    )
+
+
+def run_suite(
+    algorithms: Sequence[TruthDiscoveryAlgorithm | TDAC | AccuGenPartition],
+    dataset: Dataset,
+) -> list[PerformanceRecord]:
+    """Run several algorithms on one dataset; one record each."""
+    return [run_algorithm(algorithm, dataset) for algorithm in algorithms]
+
+
+def records_by_algorithm(
+    records: Sequence[PerformanceRecord],
+) -> Mapping[str, PerformanceRecord]:
+    """Index records by algorithm display name (last one wins)."""
+    return {record.algorithm: record for record in records}

@@ -1,0 +1,102 @@
+"""Hyper-parameter sweep harness.
+
+Runs a factory over the cartesian product of named parameter grids and
+evaluates each configuration on each dataset, producing flat records a
+bench can tabulate.  Used to make design decisions reproducible — e.g.
+the Accu stabilisation grid of DESIGN.md §5b is a bench built on this
+(`bench_ablation_accu_grid.py`) rather than a one-off note.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.algorithms.base import TruthDiscoveryAlgorithm
+from repro.data.dataset import Dataset
+from repro.metrics.classification import evaluate_predictions
+
+AlgorithmFactory = Callable[..., TruthDiscoveryAlgorithm]
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One (configuration, dataset) cell of a sweep."""
+
+    parameters: Mapping[str, object]
+    dataset: str
+    accuracy: float
+    precision: float
+    iterations: int
+
+    def label(self) -> str:
+        """Compact ``k=v`` rendering of the configuration."""
+        return ", ".join(f"{k}={v}" for k, v in sorted(self.parameters.items()))
+
+
+def parameter_grid(grid: Mapping[str, Sequence]) -> list[dict]:
+    """All combinations of the named parameter value lists."""
+    if not grid:
+        return [{}]
+    names = sorted(grid)
+    combinations = itertools.product(*(grid[name] for name in names))
+    return [dict(zip(names, combo)) for combo in combinations]
+
+
+def sweep(
+    factory: AlgorithmFactory,
+    grid: Mapping[str, Sequence],
+    datasets: Sequence[Dataset],
+    wrapper: Callable[[TruthDiscoveryAlgorithm], object] | None = None,
+) -> list[SweepRecord]:
+    """Evaluate every grid configuration on every dataset.
+
+    ``wrapper`` optionally lifts each configured algorithm into another
+    runner (e.g. ``lambda base: TDAC(base, seed=0)``); the wrapped object
+    must expose ``discover`` or ``run`` returning predictions.
+    """
+    records: list[SweepRecord] = []
+    for parameters in parameter_grid(grid):
+        algorithm = factory(**parameters)
+        runner = wrapper(algorithm) if wrapper is not None else algorithm
+        for dataset in datasets:
+            if hasattr(runner, "run"):
+                outcome = runner.run(dataset)
+                predictions = outcome.predictions
+                iterations = getattr(outcome, "iterations", 1)
+            else:
+                result = runner.discover(dataset)
+                predictions = result.predictions
+                iterations = result.iterations
+            report = evaluate_predictions(dataset, predictions)
+            records.append(
+                SweepRecord(
+                    parameters=dict(parameters),
+                    dataset=dataset.name,
+                    accuracy=report.accuracy,
+                    precision=report.precision,
+                    iterations=int(iterations),
+                )
+            )
+    return records
+
+
+def best_configuration(
+    records: Sequence[SweepRecord],
+) -> Mapping[str, object]:
+    """Configuration with the best *worst-case* accuracy across datasets.
+
+    Min-max selection: a default must not fall apart on any dataset, so
+    the winner maximises the minimum accuracy over the swept datasets.
+    """
+    if not records:
+        raise ValueError("no sweep records")
+    by_config: dict[tuple, list[float]] = {}
+    parameters_of: dict[tuple, Mapping[str, object]] = {}
+    for record in records:
+        key = tuple(sorted(record.parameters.items()))
+        by_config.setdefault(key, []).append(record.accuracy)
+        parameters_of[key] = record.parameters
+    best_key = max(by_config, key=lambda k: (min(by_config[k]), k))
+    return parameters_of[best_key]

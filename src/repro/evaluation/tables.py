@@ -1,0 +1,64 @@
+"""ASCII rendering of paper-style result tables.
+
+The benchmarks print their regenerated tables through these helpers so
+the output can be compared side by side with the paper's Tables 4–9.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.evaluation.runner import PerformanceRecord
+
+PERFORMANCE_HEADER = (
+    "Algorithm",
+    "Precision",
+    "Recall",
+    "Accuracy",
+    "F1-measure",
+    "Time(s)",
+    "#Iteration",
+)
+
+
+def format_table(
+    header: Sequence[str], rows: Sequence[Sequence], title: str | None = None
+) -> str:
+    """Fixed-width table with a header rule, like the paper's layout."""
+    columns = len(header)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, header has {columns}"
+            )
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(header[i])), *(len(r[i]) for r in rendered), 1)
+        if rendered
+        else len(str(header[i]))
+        for i in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(header))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(columns)))
+    return "\n".join(lines)
+
+
+def performance_table(
+    records: Sequence[PerformanceRecord], title: str | None = None
+) -> str:
+    """Render performance records in the paper's column layout."""
+    rows = [record.as_row() for record in records]
+    return format_table(PERFORMANCE_HEADER, rows, title=title)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,40 @@
+"""Evaluation metrics: claim-level confusion, partition quality, timing."""
+
+from repro.metrics.classification import (
+    ConfusionCounts,
+    EvaluationReport,
+    confusion_counts,
+    evaluate_predictions,
+    fact_accuracy,
+    source_accuracy,
+    tolerant_fact_accuracy,
+)
+from repro.metrics.ranking import (
+    kendall_tau,
+    top_k_precision,
+    trust_ranking_quality,
+)
+from repro.metrics.partition_quality import (
+    PartitionAgreement,
+    compare_partitions,
+    is_refinement,
+)
+from repro.metrics.timing import Stopwatch, Timer
+
+__all__ = [
+    "ConfusionCounts",
+    "EvaluationReport",
+    "PartitionAgreement",
+    "Stopwatch",
+    "Timer",
+    "compare_partitions",
+    "confusion_counts",
+    "evaluate_predictions",
+    "fact_accuracy",
+    "is_refinement",
+    "kendall_tau",
+    "source_accuracy",
+    "tolerant_fact_accuracy",
+    "top_k_precision",
+    "trust_ranking_quality",
+]

@@ -1,0 +1,198 @@
+"""Evaluation metrics: precision, recall, accuracy, F1 (paper Section 4.1).
+
+The paper evaluates with the claim-labelling protocol of Waguih &
+Berti-Equille's experimental survey, which it cites for its settings.
+Every *distinct claimed value* of every fact with known ground truth is a
+labelling decision:
+
+* the algorithm labels the value positive when it elected it as the
+  truth, negative otherwise;
+* the gold label is positive when the value equals the ground truth.
+
+Precision / recall / accuracy / F1 are then the usual confusion-matrix
+ratios over those decisions.  This is the only protocol under which the
+paper's tables are internally consistent — with a fact-level protocol
+(one decision per fact) precision and recall would coincide, but the
+tables report them apart.
+
+A fact-level view (:func:`fact_accuracy`) is also provided because the
+literature often quotes it ("error rate").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.data.dataset import Dataset
+from repro.data.types import Fact, GroundTruthError, Value
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Raw confusion-matrix counts over value-labelling decisions."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+    @property
+    def total(self) -> int:
+        """Total number of labelling decisions."""
+        return (
+            self.true_positives
+            + self.false_positives
+            + self.false_negatives
+            + self.true_negatives
+        )
+
+
+@dataclass(frozen=True)
+class EvaluationReport:
+    """Precision / recall / accuracy / F1 of one prediction set."""
+
+    precision: float
+    recall: float
+    accuracy: float
+    f1: float
+    counts: ConfusionCounts
+    n_facts_evaluated: int
+
+    def as_row(self) -> tuple[float, float, float, float]:
+        """The four headline metrics in the paper's column order."""
+        return (self.precision, self.recall, self.accuracy, self.f1)
+
+
+def confusion_counts(
+    dataset: Dataset, predictions: Mapping[Fact, Value]
+) -> tuple[ConfusionCounts, int]:
+    """Count claim-labelling decisions of ``predictions`` against truth.
+
+    Only facts that both carry ground truth and received at least one
+    claim participate.  Returns the counts plus the number of facts
+    evaluated.
+    """
+    if not dataset.has_truth:
+        raise GroundTruthError("evaluation requires a dataset with ground truth")
+    tp = fp = fn = tn = 0
+    n_facts = 0
+    for fact in dataset.facts:
+        truth = dataset.true_value(fact)
+        if truth is None:
+            continue
+        predicted = predictions.get(fact)
+        if predicted is None:
+            continue
+        n_facts += 1
+        for value in dataset.values_for(fact):
+            labelled_true = value == predicted
+            actually_true = value == truth
+            if labelled_true and actually_true:
+                tp += 1
+            elif labelled_true:
+                fp += 1
+            elif actually_true:
+                fn += 1
+            else:
+                tn += 1
+    return ConfusionCounts(tp, fp, fn, tn), n_facts
+
+
+def evaluate_predictions(
+    dataset: Dataset, predictions: Mapping[Fact, Value]
+) -> EvaluationReport:
+    """Full evaluation report of ``predictions`` against the ground truth."""
+    counts, n_facts = confusion_counts(dataset, predictions)
+    tp = counts.true_positives
+    fp = counts.false_positives
+    fn = counts.false_negatives
+    precision = tp / (tp + fp) if (tp + fp) else 0.0
+    recall = tp / (tp + fn) if (tp + fn) else 0.0
+    accuracy = (
+        (tp + counts.true_negatives) / counts.total if counts.total else 0.0
+    )
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if (precision + recall)
+        else 0.0
+    )
+    return EvaluationReport(
+        precision=precision,
+        recall=recall,
+        accuracy=accuracy,
+        f1=f1,
+        counts=counts,
+        n_facts_evaluated=n_facts,
+    )
+
+
+def fact_accuracy(
+    dataset: Dataset, predictions: Mapping[Fact, Value]
+) -> float:
+    """Fraction of evaluated facts whose predicted value is the truth."""
+    if not dataset.has_truth:
+        raise GroundTruthError("evaluation requires a dataset with ground truth")
+    correct = 0
+    evaluated = 0
+    for fact in dataset.facts:
+        truth = dataset.true_value(fact)
+        predicted = predictions.get(fact)
+        if truth is None or predicted is None:
+            continue
+        evaluated += 1
+        if predicted == truth:
+            correct += 1
+    return correct / evaluated if evaluated else 0.0
+
+
+def tolerant_fact_accuracy(
+    dataset: Dataset,
+    predictions: Mapping[Fact, Value],
+    tolerance: float = 0.99,
+) -> float:
+    """Fact accuracy where "correct" means similar enough to the truth.
+
+    Numeric corpora (prices, sensor readings) rarely contain the truth
+    verbatim — honest reports carry rounding noise — so exact-match
+    accuracy under-credits every algorithm equally.  A prediction counts
+    as correct when its :func:`~repro.algorithms.similarity.value_similarity`
+    to the truth reaches ``tolerance``.
+    """
+    from repro.algorithms.similarity import value_similarity
+
+    if not dataset.has_truth:
+        raise GroundTruthError("evaluation requires a dataset with ground truth")
+    if not 0.0 < tolerance <= 1.0:
+        raise ValueError("tolerance must be in (0, 1]")
+    correct = 0
+    evaluated = 0
+    for fact in dataset.facts:
+        truth = dataset.true_value(fact)
+        predicted = predictions.get(fact)
+        if truth is None or predicted is None:
+            continue
+        evaluated += 1
+        if value_similarity(predicted, truth) >= tolerance:
+            correct += 1
+    return correct / evaluated if evaluated else 0.0
+
+
+def source_accuracy(dataset: Dataset) -> Mapping[str, float]:
+    """True per-source accuracy against ground truth (generator checks)."""
+    if not dataset.has_truth:
+        raise GroundTruthError("source accuracy requires ground truth")
+    correct: dict[str, int] = {}
+    total: dict[str, int] = {}
+    for claim in dataset.iter_claims():
+        truth = dataset.true_value(claim.fact)
+        if truth is None:
+            continue
+        total[claim.source] = total.get(claim.source, 0) + 1
+        if claim.value == truth:
+            correct[claim.source] = correct.get(claim.source, 0) + 1
+    return {
+        source: correct.get(source, 0) / count
+        for source, count in total.items()
+        if count
+    }

@@ -1,0 +1,68 @@
+"""Partition-quality metrics for comparing Table 5 rows.
+
+How close is a returned attribute partition to the one the generator
+planted?  Exact equality is too strict a yardstick (merging two blocks
+whose sources behave identically is harmless), so graded agreement
+measures are provided alongside it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.partition import Partition, adjusted_rand_index, rand_index
+
+
+@dataclass(frozen=True)
+class PartitionAgreement:
+    """Agreement summary between a reference and a candidate partition."""
+
+    exact: bool
+    rand: float
+    adjusted_rand: float
+    n_blocks_reference: int
+    n_blocks_candidate: int
+
+    def as_row(self) -> tuple:
+        """(exact, Rand, ARI, |P_ref|, |P_cand|) summary row."""
+        return (
+            self.exact,
+            round(self.rand, 3),
+            round(self.adjusted_rand, 3),
+            self.n_blocks_reference,
+            self.n_blocks_candidate,
+        )
+
+
+def compare_partitions(
+    reference: Partition, candidate: Partition
+) -> PartitionAgreement:
+    """Full agreement summary between two partitions."""
+    return PartitionAgreement(
+        exact=reference == candidate,
+        rand=rand_index(reference, candidate),
+        adjusted_rand=adjusted_rand_index(reference, candidate),
+        n_blocks_reference=reference.n_blocks,
+        n_blocks_candidate=candidate.n_blocks,
+    )
+
+
+def is_refinement(finer: Partition, coarser: Partition) -> bool:
+    """Whether every block of ``finer`` sits inside a block of ``coarser``.
+
+    A candidate that *refines* the planted partition never mixes
+    attributes with different reliability profiles — a weaker but often
+    sufficient recovery condition.
+    """
+    if finer.attributes != coarser.attributes:
+        raise ValueError("partitions cover different attribute sets")
+    coarse_of = {
+        attribute: block
+        for block in coarser.blocks
+        for attribute in block
+    }
+    for block in finer.blocks:
+        homes = {coarse_of[a] for a in block}
+        if len(homes) > 1:
+            return False
+    return True

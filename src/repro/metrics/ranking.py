@@ -1,0 +1,79 @@
+"""Source-ranking quality: does estimated trust order the sources right?
+
+Trust scores feed downstream decisions (which feed to pay for, which
+scraper to drop), where the *ordering* matters more than the scale.
+:func:`kendall_tau` measures rank agreement between estimated trust and
+true accuracy; :func:`top_k_precision` asks the operational question
+"are the k sources the algorithm trusts most actually the best k?".
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.data.dataset import Dataset
+from repro.data.types import SourceId
+from repro.metrics.classification import source_accuracy
+
+
+def kendall_tau(
+    scores_a: Sequence[float], scores_b: Sequence[float]
+) -> float:
+    """Kendall's tau-a rank correlation between two score sequences.
+
+    Concordant pairs minus discordant pairs over all pairs; ties count
+    as neither.  Returns 0.0 for fewer than two items.
+    """
+    if len(scores_a) != len(scores_b):
+        raise ValueError("score sequences differ in length")
+    n = len(scores_a)
+    if n < 2:
+        return 0.0
+    concordant = discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            a = (scores_a[i] > scores_a[j]) - (scores_a[i] < scores_a[j])
+            b = (scores_b[i] > scores_b[j]) - (scores_b[i] < scores_b[j])
+            product = a * b
+            if product > 0:
+                concordant += 1
+            elif product < 0:
+                discordant += 1
+    return (concordant - discordant) / (n * (n - 1) / 2)
+
+
+def trust_ranking_quality(
+    dataset: Dataset, estimated_trust: Mapping[SourceId, float]
+) -> float:
+    """Kendall tau between estimated trust and true source accuracy."""
+    actual = source_accuracy(dataset)
+    sources = [s for s in dataset.sources if s in actual]
+    if len(sources) < 2:
+        raise ValueError("need at least two sources with claims")
+    return kendall_tau(
+        [estimated_trust.get(s, 0.0) for s in sources],
+        [actual[s] for s in sources],
+    )
+
+
+def top_k_precision(
+    dataset: Dataset,
+    estimated_trust: Mapping[SourceId, float],
+    k: int,
+) -> float:
+    """Fraction of the top-k estimated sources that are truly top-k.
+
+    Ties in either ranking are broken by source order, which is
+    deterministic; with heavy ties this is a pessimistic estimate.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    actual = source_accuracy(dataset)
+    sources = [s for s in dataset.sources if s in actual]
+    if k > len(sources):
+        raise ValueError(f"k={k} exceeds the {len(sources)} scored sources")
+    by_estimate = sorted(
+        sources, key=lambda s: -estimated_trust.get(s, 0.0)
+    )[:k]
+    by_actual = set(sorted(sources, key=lambda s: -actual[s])[:k])
+    return sum(1 for s in by_estimate if s in by_actual) / k

@@ -1,0 +1,74 @@
+"""Wall-clock instrumentation used by the evaluation harness.
+
+A tiny context-manager timer plus an accumulating stopwatch for the
+per-phase breakdowns (reference pass / clustering / per-block passes)
+that the efficiency analysis in Section 4.5 discusses.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Context-manager wall-clock timer.
+
+    >>> with Timer() as timer:
+    ...     _ = sum(range(1000))
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named phase durations across repeated measurements."""
+
+    phases: dict[str, float] = field(default_factory=dict)
+
+    def measure(self, phase: str) -> "_PhaseContext":
+        """Context manager adding its duration to ``phase``'s total."""
+        return _PhaseContext(self, phase)
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Manually add ``seconds`` to a phase's total."""
+        if seconds < 0:
+            raise ValueError("cannot add negative time")
+        self.phases[phase] = self.phases.get(phase, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        """Sum of all phase totals."""
+        return sum(self.phases.values())
+
+    def breakdown(self) -> dict[str, float]:
+        """Phase → fraction-of-total mapping (empty if nothing measured)."""
+        if self.total == 0.0:
+            return {}
+        return {name: seconds / self.total for name, seconds in self.phases.items()}
+
+
+class _PhaseContext:
+    def __init__(self, stopwatch: Stopwatch, phase: str) -> None:
+        self._stopwatch = stopwatch
+        self._phase = phase
+        self._start = 0.0
+
+    def __enter__(self) -> "_PhaseContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stopwatch.add(self._phase, time.perf_counter() - self._start)

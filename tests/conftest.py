@@ -1,0 +1,80 @@
+"""Shared fixtures: small hand-built datasets used across test modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import DatasetBuilder
+
+
+@pytest.fixture
+def tiny_dataset():
+    """Three sources, two objects, two attributes, full ground truth.
+
+    Source s1 is always right, s2 always wrong, s3 right on attribute
+    ``a`` only — small enough to verify algorithm outputs by hand.
+    """
+    builder = DatasetBuilder(name="tiny")
+    truth = {
+        ("o1", "a"): "x",
+        ("o1", "b"): "y",
+        ("o2", "a"): "z",
+        ("o2", "b"): "w",
+    }
+    for (obj, attr), value in truth.items():
+        builder.set_truth(obj, attr, value)
+        builder.add_claim("s1", obj, attr, value)
+        builder.add_claim("s2", obj, attr, value + "-wrong")
+    builder.add_claim("s3", "o1", "a", "x")
+    builder.add_claim("s3", "o2", "a", "z")
+    builder.add_claim("s3", "o1", "b", "y-wrong3")
+    builder.add_claim("s3", "o2", "b", "w-wrong3")
+    return builder.build()
+
+
+@pytest.fixture
+def running_example():
+    """The paper's Table 1 running example (two topics, three sources).
+
+    Correct answers: FB.Q1 = Algeria, FB.Q2 = 2019, FB.Q3 = 11,
+    CS.Q1 = Linus Torvalds, CS.Q2 = 1991, CS.Q3 = 7.
+    """
+    builder = DatasetBuilder(name="table1")
+    claims = {
+        # (source, object, attribute): value
+        ("Source 1", "FB", "Q1"): "Algeria",
+        ("Source 1", "FB", "Q2"): "2000",
+        ("Source 1", "FB", "Q3"): "12",
+        ("Source 2", "FB", "Q1"): "Senegal",
+        ("Source 2", "FB", "Q2"): "2019",
+        ("Source 2", "FB", "Q3"): "11",
+        ("Source 3", "FB", "Q1"): "Algeria",
+        ("Source 3", "FB", "Q2"): "1994",
+        ("Source 3", "FB", "Q3"): "12",
+        ("Source 1", "CS", "Q1"): "Linus Torvalds",
+        ("Source 1", "CS", "Q2"): "1830",
+        ("Source 1", "CS", "Q3"): "7",
+        ("Source 2", "CS", "Q1"): "Bill Gates",
+        ("Source 2", "CS", "Q2"): "1991",
+        ("Source 2", "CS", "Q3"): "8",
+        ("Source 3", "CS", "Q1"): "Steve Jobs",
+        ("Source 3", "CS", "Q2"): "1991",
+        ("Source 3", "CS", "Q3"): "10",
+    }
+    for (source, obj, attr), value in claims.items():
+        builder.add_claim(source, obj, attr, value)
+    builder.set_truth("FB", "Q1", "Algeria")
+    builder.set_truth("FB", "Q2", "2019")
+    builder.set_truth("FB", "Q3", "11")
+    builder.set_truth("CS", "Q1", "Linus Torvalds")
+    builder.set_truth("CS", "Q2", "1991")
+    builder.set_truth("CS", "Q3", "7")
+    return builder.build()
+
+
+@pytest.fixture(scope="session")
+def small_ds1():
+    """A 30-object DS1 (fast; reused by several modules)."""
+    from repro.datasets import make_synthetic
+
+    return make_synthetic("DS1", n_objects=30, seed=7)

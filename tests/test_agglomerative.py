@@ -1,0 +1,84 @@
+"""Unit tests for hierarchical clustering."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import Agglomerative, pairwise_euclidean
+
+
+def blobs():
+    points = np.array(
+        [[0.0], [0.2], [0.4], [10.0], [10.2], [20.0]], dtype=float
+    )
+    return pairwise_euclidean(points)
+
+
+class TestAgglomerative:
+    @pytest.mark.parametrize("linkage", ["single", "complete", "average"])
+    def test_recovers_separated_groups(self, linkage):
+        distances = blobs()
+        result = Agglomerative(n_clusters=3, linkage=linkage).fit_distances(
+            distances
+        )
+        labels = result.labels
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[5] not in (labels[0], labels[3])
+
+    def test_n_clusters_one_merges_everything(self):
+        result = Agglomerative(n_clusters=1).fit_distances(blobs())
+        assert len(set(result.labels.tolist())) == 1
+
+    def test_n_clusters_equal_points_is_identity(self):
+        result = Agglomerative(n_clusters=6).fit_distances(blobs())
+        assert len(set(result.labels.tolist())) == 6
+
+    def test_merge_heights_non_decreasing_average(self):
+        result = Agglomerative(n_clusters=1, linkage="average").fit_distances(
+            blobs()
+        )
+        heights = result.merge_heights
+        assert all(a <= b + 1e-9 for a, b in zip(heights, heights[1:]))
+
+    def test_labels_ordered_by_first_member(self):
+        result = Agglomerative(n_clusters=3).fit_distances(blobs())
+        first_seen = {}
+        for i, label in enumerate(result.labels):
+            first_seen.setdefault(int(label), i)
+        assert sorted(first_seen, key=first_seen.get) == sorted(first_seen)
+
+    def test_clusters_listing_partitions_points(self):
+        result = Agglomerative(n_clusters=2).fit_distances(blobs())
+        members = sorted(i for g in result.clusters() for i in g)
+        assert members == list(range(6))
+
+    def test_rejects_bad_linkage(self):
+        with pytest.raises(ValueError, match="linkage"):
+            Agglomerative(n_clusters=2, linkage="ward")
+
+    def test_rejects_too_many_clusters(self):
+        with pytest.raises(ValueError, match="cannot form"):
+            Agglomerative(n_clusters=10).fit_distances(blobs())
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            Agglomerative(n_clusters=2).fit_distances(np.zeros((3, 4)))
+
+    def test_single_vs_complete_differ_on_chain(self):
+        # A chain of points: single linkage chains them together,
+        # complete linkage prefers compact groups.
+        points = np.array([[0.0], [1.0], [2.0], [3.0], [4.0], [5.0]])
+        distances = pairwise_euclidean(points)
+        single = Agglomerative(n_clusters=2, linkage="single").fit_distances(
+            distances
+        )
+        complete = Agglomerative(
+            n_clusters=2, linkage="complete"
+        ).fit_distances(distances)
+        sizes_single = sorted(len(g) for g in single.clusters())
+        sizes_complete = sorted(len(g) for g in complete.clusters())
+        # Single linkage chains the whole sequence into one blob plus a
+        # leftover; complete linkage forms more balanced groups.
+        assert sizes_single == [1, 5]
+        assert sizes_complete != sizes_single
+        assert max(sizes_complete) < 5

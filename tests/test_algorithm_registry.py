@@ -1,0 +1,61 @@
+"""Unit tests for the algorithm registry."""
+
+import pytest
+
+from repro.algorithms import TruthDiscoveryAlgorithm, available, create, register
+
+
+PAPER_NAMES = ("MajorityVote", "TruthFinder", "DEPEN", "Accu", "AccuSim")
+EXTENSION_NAMES = (
+    "Sums",
+    "AverageLog",
+    "Investment",
+    "PooledInvestment",
+    "2-Estimates",
+    "3-Estimates",
+    "CRH",
+    "CATD",
+    "SimpleLCA",
+)
+
+
+def test_all_paper_algorithms_registered():
+    names = available()
+    for name in PAPER_NAMES:
+        assert name in names
+
+
+def test_extension_algorithms_registered():
+    names = available()
+    for name in EXTENSION_NAMES:
+        assert name in names
+
+
+def test_create_is_case_insensitive():
+    assert create("accu").name == "Accu"
+    assert create("ACCU").name == "Accu"
+
+
+def test_create_forwards_kwargs():
+    algorithm = create("TruthFinder", max_iterations=5)
+    assert algorithm.max_iterations == 5
+
+
+def test_unknown_name_lists_known(tiny_dataset):
+    with pytest.raises(KeyError, match="known:"):
+        create("bogus")
+
+
+def test_duplicate_registration_rejected():
+    from repro.algorithms import MajorityVote
+
+    with pytest.raises(ValueError, match="already registered"):
+        register("MajorityVote", MajorityVote)
+
+
+def test_created_algorithms_run(tiny_dataset):
+    for name in PAPER_NAMES + EXTENSION_NAMES:
+        algorithm = create(name)
+        assert isinstance(algorithm, TruthDiscoveryAlgorithm)
+        result = algorithm.discover(tiny_dataset)
+        assert len(result.predictions) == len(tiny_dataset.facts)

@@ -1,0 +1,72 @@
+"""Unit tests for the result-analysis diagnostics."""
+
+import pytest
+
+from repro.algorithms import Accu, MajorityVote
+from repro.evaluation import (
+    disagreement_profile,
+    per_attribute_accuracy,
+    trust_calibration,
+)
+
+
+class TestTrustCalibration:
+    def test_good_algorithm_correlates(self, small_ds1):
+        dataset = small_ds1.dataset
+        result = Accu().discover(dataset)
+        calibration = trust_calibration(dataset, result)
+        assert calibration.n_sources == 10
+        assert -1.0 <= calibration.correlation <= 1.0
+        assert 0.0 <= calibration.mean_absolute_error <= 1.0
+
+    def test_requires_two_sources(self):
+        from repro.data import DatasetBuilder
+
+        builder = DatasetBuilder()
+        builder.add_claim("s1", "o", "a", 1)
+        builder.set_truth("o", "a", 1)
+        dataset = builder.build()
+        result = MajorityVote().discover(dataset)
+        with pytest.raises(ValueError):
+            trust_calibration(dataset, result)
+
+    def test_is_informative_threshold(self, small_ds1):
+        dataset = small_ds1.dataset
+        calibration = trust_calibration(dataset, Accu().discover(dataset))
+        assert calibration.is_informative(threshold=-1.0)
+
+
+class TestPerAttributeAccuracy:
+    def test_keys_are_attributes(self, small_ds1):
+        dataset = small_ds1.dataset
+        result = MajorityVote().discover(dataset)
+        accuracy = per_attribute_accuracy(dataset, result)
+        assert set(accuracy) == set(dataset.attributes)
+        assert all(0.0 <= v <= 1.0 for v in accuracy.values())
+
+    def test_reflects_structural_difficulty(self, small_ds1):
+        # DS1's contested planted group should score below its easy ones
+        # under a flat algorithm.
+        dataset = small_ds1.dataset
+        result = MajorityVote().discover(dataset)
+        accuracy = per_attribute_accuracy(dataset, result)
+        assert min(accuracy.values()) < max(accuracy.values())
+
+
+class TestDisagreementProfile:
+    def test_full_coverage_counts(self, small_ds1):
+        profile = disagreement_profile(small_ds1.dataset)
+        assert profile.mean_claims_per_fact == pytest.approx(10.0)
+        assert profile.n_facts == len(small_ds1.dataset.facts)
+        assert 1.0 <= profile.mean_distinct_values <= 10.0
+        assert 0.0 <= profile.mean_winning_margin <= 1.0
+
+    def test_unanimous_dataset(self):
+        from repro.data import DatasetBuilder
+
+        builder = DatasetBuilder()
+        for s in ("s1", "s2"):
+            builder.add_claim(s, "o", "a", "same")
+        profile = disagreement_profile(builder.build())
+        assert profile.n_unanimous_facts == 1
+        assert profile.mean_winning_margin == pytest.approx(1.0)

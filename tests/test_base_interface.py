@@ -1,0 +1,75 @@
+"""Unit tests for the shared algorithm interface (base module)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import MajorityVote, TruthDiscoveryResult
+from repro.algorithms.base import EngineState, TruthDiscoveryAlgorithm
+from repro.data import DatasetBuilder, DatasetIndex, Fact
+
+
+class TestDiscoverInputs:
+    def test_accepts_dataset_or_index(self, tiny_dataset):
+        index = DatasetIndex(tiny_dataset)
+        from_dataset = MajorityVote().discover(tiny_dataset)
+        from_index = MajorityVote().discover(index)
+        assert from_dataset.predictions == from_index.predictions
+
+    def test_result_fields(self, tiny_dataset):
+        result = MajorityVote().discover(tiny_dataset)
+        assert result.algorithm == "MajorityVote"
+        assert result.elapsed_seconds >= 0.0
+        assert len(result) == len(tiny_dataset.facts)
+        assert result.predicted_value(Fact("o1", "a")) is not None
+        assert result.predicted_value(Fact("nope", "a")) is None
+
+    def test_trust_reported_for_every_source(self, tiny_dataset):
+        result = MajorityVote().discover(tiny_dataset)
+        assert set(result.source_trust) == set(tiny_dataset.sources)
+
+
+class _RankedAlgorithm(TruthDiscoveryAlgorithm):
+    """Test double: confidence saturates but the ranking disagrees."""
+
+    name = "ranked"
+
+    def _solve(self, index):
+        confidence = np.ones(index.n_slots)  # saturated, useless
+        ranking = np.arange(index.n_slots, dtype=float)  # last slot wins
+        return EngineState(
+            slot_confidence=confidence,
+            source_trust=np.ones(index.n_sources),
+            iterations=1,
+            slot_ranking=ranking,
+        )
+
+
+def test_slot_ranking_overrides_confidence_for_winners():
+    builder = DatasetBuilder()
+    builder.add_claim("s1", "o", "a", "first")
+    builder.add_claim("s2", "o", "a", "second")
+    ds = builder.build()
+    result = _RankedAlgorithm().discover(ds)
+    assert result.predictions[Fact("o", "a")] == "second"
+
+
+def test_result_is_frozen(tiny_dataset):
+    result = MajorityVote().discover(tiny_dataset)
+    with pytest.raises(AttributeError):
+        result.algorithm = "other"
+
+
+def test_repr_mentions_name():
+    assert "MajorityVote" in repr(MajorityVote())
+
+
+def test_result_dataclass_extras_default():
+    result = TruthDiscoveryResult(
+        algorithm="x",
+        predictions={},
+        confidence={},
+        source_trust={},
+        iterations=1,
+        elapsed_seconds=0.0,
+    )
+    assert result.extras == {}

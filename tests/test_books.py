@@ -1,0 +1,76 @@
+"""Unit tests for the Books (author-list) corpus and sequence kernel."""
+
+import pytest
+
+from repro.algorithms import Accu, MajorityVote, sequence_similarity
+from repro.datasets import make_books
+from repro.metrics import fact_accuracy
+
+
+class TestSequenceSimilarity:
+    def test_identical_lists(self):
+        assert sequence_similarity(("a", "b"), ("a", "b")) == 1.0
+
+    def test_order_ignored(self):
+        assert sequence_similarity(("a", "b"), ("b", "a")) == 1.0
+
+    def test_dropped_author(self):
+        assert sequence_similarity(("a", "b"), ("a",)) == pytest.approx(0.5)
+
+    def test_disjoint_lists(self):
+        assert sequence_similarity(("a",), ("b",)) == 0.0
+
+    def test_empty_tuples(self):
+        assert sequence_similarity((), ()) == 1.0
+
+    def test_reaches_value_similarity(self):
+        from repro.algorithms import value_similarity
+
+        assert value_similarity(("a", "b"), ("a",)) == pytest.approx(0.5)
+
+
+class TestBooksCorpus:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return make_books(n_books=60, seed=1)
+
+    def test_shape(self, dataset):
+        assert dataset.attributes == ("authors",)
+        assert len(dataset.objects) == 60
+        assert len(dataset.sources) == 21
+
+    def test_values_are_tuples(self, dataset):
+        for fact in dataset.facts[:10]:
+            for value in dataset.values_for(fact):
+                assert isinstance(value, tuple)
+
+    def test_truth_is_full_author_list(self, dataset):
+        for fact in dataset.facts[:10]:
+            truth = dataset.true_value(fact)
+            assert isinstance(truth, tuple)
+            assert len(truth) >= 1
+
+    def test_degraded_values_are_subsets(self, dataset):
+        for fact in dataset.facts[:20]:
+            truth = set(dataset.true_value(fact))
+            for value in dataset.values_for(fact):
+                # Degradations drop authors (or misattribute singles);
+                # multi-author wrong values never invent new authors.
+                if len(truth) > 1:
+                    assert set(value) <= truth
+
+    def test_accu_beats_majority_on_books(self, dataset):
+        majority = fact_accuracy(
+            dataset, MajorityVote().discover(dataset).predictions
+        )
+        accu = fact_accuracy(dataset, Accu().discover(dataset).predictions)
+        assert accu >= majority
+
+    def test_deterministic(self):
+        first = make_books(n_books=10, seed=3)
+        second = make_books(n_books=10, seed=3)
+        assert list(first.iter_claims()) == list(second.iter_claims())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_books(n_books=0)

@@ -1,0 +1,66 @@
+"""Unit tests for bootstrap confidence intervals."""
+
+import pytest
+
+from repro.algorithms import MajorityVote
+from repro.datasets import make_synthetic
+from repro.evaluation import bootstrap_metric
+from repro.metrics import fact_accuracy
+
+
+@pytest.fixture(scope="module")
+def run():
+    generated = make_synthetic("DS3", n_objects=25, seed=6)
+    dataset = generated.dataset
+    result = MajorityVote().discover(dataset)
+    return dataset, result.predictions
+
+
+class TestBootstrapMetric:
+    def test_interval_brackets_point(self, run):
+        dataset, predictions = run
+        interval = bootstrap_metric(
+            dataset, predictions, fact_accuracy, n_resamples=50, seed=0
+        )
+        assert interval.low <= interval.point <= interval.high
+        assert 0.0 <= interval.low <= interval.high <= 1.0
+
+    def test_more_confidence_widens(self, run):
+        dataset, predictions = run
+        narrow = bootstrap_metric(
+            dataset, predictions, fact_accuracy, n_resamples=80,
+            confidence=0.5, seed=0,
+        )
+        wide = bootstrap_metric(
+            dataset, predictions, fact_accuracy, n_resamples=80,
+            confidence=0.99, seed=0,
+        )
+        assert wide.high - wide.low >= narrow.high - narrow.low - 1e-9
+
+    def test_deterministic_per_seed(self, run):
+        dataset, predictions = run
+        first = bootstrap_metric(
+            dataset, predictions, fact_accuracy, n_resamples=30, seed=3
+        )
+        second = bootstrap_metric(
+            dataset, predictions, fact_accuracy, n_resamples=30, seed=3
+        )
+        assert (first.low, first.high) == (second.low, second.high)
+
+    def test_contains_and_overlaps(self, run):
+        dataset, predictions = run
+        interval = bootstrap_metric(
+            dataset, predictions, fact_accuracy, n_resamples=30, seed=0
+        )
+        assert interval.contains(interval.point)
+        assert interval.overlaps(interval)
+        assert "@" in str(interval)
+
+    def test_validation(self, run):
+        dataset, predictions = run
+        with pytest.raises(ValueError):
+            bootstrap_metric(dataset, predictions, fact_accuracy, n_resamples=2)
+        with pytest.raises(ValueError):
+            bootstrap_metric(
+                dataset, predictions, fact_accuracy, confidence=1.5
+            )

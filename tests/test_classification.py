@@ -1,0 +1,159 @@
+"""Unit tests for the claim-labelling evaluation protocol."""
+
+import pytest
+
+from repro.data import DatasetBuilder, Fact, GroundTruthError
+from repro.metrics import (
+    confusion_counts,
+    evaluate_predictions,
+    fact_accuracy,
+    source_accuracy,
+)
+
+
+def build(truths, claims):
+    builder = DatasetBuilder()
+    for (obj, attr), value in truths.items():
+        builder.set_truth(obj, attr, value)
+    for source, obj, attr, value in claims:
+        builder.add_claim(source, obj, attr, value)
+    return builder.build()
+
+
+@pytest.fixture
+def two_fact_dataset():
+    return build(
+        truths={("o1", "a"): "t1", ("o2", "a"): "t2"},
+        claims=[
+            ("s1", "o1", "a", "t1"),
+            ("s2", "o1", "a", "f1"),
+            ("s3", "o1", "a", "f2"),
+            ("s1", "o2", "a", "t2"),
+            ("s2", "o2", "a", "f3"),
+        ],
+    )
+
+
+class TestConfusionCounts:
+    def test_perfect_predictions(self, two_fact_dataset):
+        predictions = {Fact("o1", "a"): "t1", Fact("o2", "a"): "t2"}
+        counts, n_facts = confusion_counts(two_fact_dataset, predictions)
+        assert n_facts == 2
+        assert counts.true_positives == 2
+        assert counts.false_positives == 0
+        assert counts.false_negatives == 0
+        # Labels: o1 has 3 distinct values, o2 has 2 -> 5 total decisions.
+        assert counts.true_negatives == 3
+        assert counts.total == 5
+
+    def test_wrong_prediction_counts_fp_and_fn(self, two_fact_dataset):
+        predictions = {Fact("o1", "a"): "f1", Fact("o2", "a"): "t2"}
+        counts, _ = confusion_counts(two_fact_dataset, predictions)
+        assert counts.true_positives == 1
+        assert counts.false_positives == 1
+        assert counts.false_negatives == 1
+        assert counts.true_negatives == 2
+
+    def test_unpredicted_facts_skipped(self, two_fact_dataset):
+        predictions = {Fact("o1", "a"): "t1"}
+        counts, n_facts = confusion_counts(two_fact_dataset, predictions)
+        assert n_facts == 1
+        assert counts.total == 3
+
+    def test_requires_truth(self):
+        ds = DatasetBuilder().add_claim("s", "o", "a", 1).build()
+        with pytest.raises(GroundTruthError):
+            confusion_counts(ds, {})
+
+
+class TestEvaluationReport:
+    def test_metric_formulas(self, two_fact_dataset):
+        predictions = {Fact("o1", "a"): "f1", Fact("o2", "a"): "t2"}
+        report = evaluate_predictions(two_fact_dataset, predictions)
+        assert report.precision == pytest.approx(1 / 2)
+        assert report.recall == pytest.approx(1 / 2)
+        assert report.accuracy == pytest.approx(3 / 5)
+        assert report.f1 == pytest.approx(0.5)
+        assert report.as_row() == (
+            report.precision,
+            report.recall,
+            report.accuracy,
+            report.f1,
+        )
+
+    def test_unclaimed_truth_lowers_precision_not_recall(self):
+        # Truth "t" never claimed: elected value is a false positive but
+        # there is no positive gold label, so recall has an empty
+        # denominator for that fact.
+        ds = build(
+            truths={("o1", "a"): "t"},
+            claims=[("s1", "o1", "a", "x"), ("s2", "o1", "a", "y")],
+        )
+        report = evaluate_predictions(ds, {Fact("o1", "a"): "x"})
+        assert report.precision == 0.0
+        assert report.recall == 0.0  # no TP either
+        assert report.counts.false_negatives == 0
+        assert report.counts.false_positives == 1
+
+    def test_zero_division_guards(self):
+        ds = build(
+            truths={("o1", "a"): "t"},
+            claims=[("s1", "o1", "a", "x")],
+        )
+        report = evaluate_predictions(ds, {})
+        assert report.precision == 0.0
+        assert report.recall == 0.0
+        assert report.f1 == 0.0
+
+
+class TestFactAccuracy:
+    def test_counts_exact_matches(self, two_fact_dataset):
+        predictions = {Fact("o1", "a"): "f1", Fact("o2", "a"): "t2"}
+        assert fact_accuracy(two_fact_dataset, predictions) == pytest.approx(0.5)
+
+    def test_empty_predictions(self, two_fact_dataset):
+        assert fact_accuracy(two_fact_dataset, {}) == 0.0
+
+
+class TestSourceAccuracy:
+    def test_per_source_rates(self, two_fact_dataset):
+        rates = source_accuracy(two_fact_dataset)
+        assert rates["s1"] == pytest.approx(1.0)
+        assert rates["s2"] == pytest.approx(0.0)
+
+    def test_requires_truth(self):
+        ds = DatasetBuilder().add_claim("s", "o", "a", 1).build()
+        with pytest.raises(GroundTruthError):
+            source_accuracy(ds)
+
+
+class TestTolerantFactAccuracy:
+    def test_jittered_predictions_count(self):
+        from repro.metrics import tolerant_fact_accuracy
+
+        ds = build(
+            truths={("o1", "a"): 100.0},
+            claims=[("s1", "o1", "a", 100.05), ("s2", "o1", "a", 250.0)],
+        )
+        assert tolerant_fact_accuracy(ds, {Fact("o1", "a"): 100.05}) == 1.0
+        assert tolerant_fact_accuracy(ds, {Fact("o1", "a"): 250.0}) == 0.0
+
+    def test_tolerance_validated(self):
+        from repro.metrics import tolerant_fact_accuracy
+
+        ds = build(
+            truths={("o1", "a"): 1.0},
+            claims=[("s1", "o1", "a", 1.0)],
+        )
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            tolerant_fact_accuracy(ds, {}, tolerance=0.0)
+
+    def test_requires_truth(self):
+        from repro.data import DatasetBuilder
+        from repro.metrics import tolerant_fact_accuracy
+
+        ds = DatasetBuilder().add_claim("s", "o", "a", 1).build()
+        with pytest.raises(GroundTruthError):
+            tolerant_fact_accuracy(ds, {})

@@ -1,0 +1,88 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListing:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "DS1" in out
+        assert "Stocks" in out
+
+    def test_algorithms(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "Accu" in out
+        assert "TruthFinder" in out
+
+
+class TestRun:
+    def test_plain_algorithm(self, capsys):
+        assert main(["run", "MajorityVote", "DS1", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "MajorityVote" in out
+        assert "Accuracy" in out
+
+    def test_tdac_prefix(self, capsys):
+        assert main(["run", "TDAC+MajorityVote", "DS1", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "TD-AC (F=MajorityVote)" in out
+        assert "partition:" in out
+
+
+class TestTables:
+    def test_table4_without_brute_force(self, capsys):
+        assert main(["table4", "DS1", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "TD-AC (F=Accu)" in out
+
+    def test_table8(self, capsys):
+        assert main(["table8"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Stocks", "Exam 62", "Flights"):
+            assert name in out
+
+    def test_bad_dataset_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table4", "DS9"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestReport:
+    def test_report_assembles_artifacts(self, tmp_path, capsys):
+        artifacts = tmp_path / "artifacts"
+        artifacts.mkdir()
+        (artifacts / "table4_demo.txt").write_text("CONTENT\n")
+        destination = tmp_path / "out.md"
+        assert main(
+            [
+                "report",
+                "--output-dir",
+                str(artifacts),
+                "--destination",
+                str(destination),
+            ]
+        ) == 0
+        assert "CONTENT" in destination.read_text()
+
+
+class TestLeaderboard:
+    def test_leaderboard_ranks(self, capsys):
+        assert main(
+            [
+                "leaderboard",
+                "DS1",
+                "--scale",
+                "0.02",
+                "--no-tdac",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Rank" in out
+        assert "MajorityVote" in out

@@ -1,0 +1,65 @@
+"""Unit tests for convergence criteria."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ConvergenceCriterion
+
+
+class TestCosine:
+    def test_identical_vectors_converge(self):
+        criterion = ConvergenceCriterion(1e-3, "cosine")
+        v = np.array([0.5, 0.9, 0.1])
+        assert criterion.converged(v, v)
+
+    def test_scaled_vectors_converge(self):
+        # Cosine ignores magnitude, per TruthFinder's criterion.
+        criterion = ConvergenceCriterion(1e-6, "cosine")
+        v = np.array([0.5, 0.9, 0.1])
+        assert criterion.converged(v, 2 * v)
+
+    def test_orthogonal_vectors_do_not(self):
+        criterion = ConvergenceCriterion(0.5, "cosine")
+        assert not criterion.converged(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        )
+
+    def test_zero_vectors(self):
+        criterion = ConvergenceCriterion(1e-3, "cosine")
+        zero = np.zeros(3)
+        assert criterion.converged(zero, zero)
+        assert not criterion.converged(zero, np.ones(3))
+
+
+class TestMaxChange:
+    def test_small_change_converges(self):
+        criterion = ConvergenceCriterion(0.01, "max_change")
+        assert criterion.converged(
+            np.array([0.5, 0.5]), np.array([0.505, 0.495])
+        )
+
+    def test_one_large_component_blocks(self):
+        criterion = ConvergenceCriterion(0.01, "max_change")
+        assert not criterion.converged(
+            np.array([0.5, 0.5]), np.array([0.505, 0.9])
+        )
+
+
+class TestL2:
+    def test_l2_measure(self):
+        criterion = ConvergenceCriterion(1.0, "l2")
+        assert criterion.change(
+            np.array([0.0, 0.0]), np.array([3.0, 4.0])
+        ) == pytest.approx(5.0)
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        criterion = ConvergenceCriterion()
+        with pytest.raises(ValueError, match="shape"):
+            criterion.change(np.zeros(2), np.zeros(3))
+
+    def test_unknown_measure(self):
+        criterion = ConvergenceCriterion(measure="nope")
+        with pytest.raises(ValueError, match="unknown convergence"):
+            criterion.change(np.zeros(2), np.zeros(2))

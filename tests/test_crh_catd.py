@@ -1,0 +1,84 @@
+"""Unit tests for the CRH and CATD extension algorithms."""
+
+import pytest
+
+from repro.algorithms import CATD, CRH
+from repro.data import DatasetBuilder, Fact
+
+
+def reliability_dataset():
+    """good1/good2 agree on the truth across many facts; bad dissents."""
+    builder = DatasetBuilder()
+    for i in range(12):
+        builder.add_claim("good1", f"o{i}", "a", "right")
+        builder.add_claim("good2", f"o{i}", "a", "right")
+        builder.add_claim("bad", f"o{i}", "a", f"wrong{i}")
+    builder.add_claim("good1", "tie", "a", "g")
+    builder.add_claim("bad", "tie", "a", "b")
+    return builder.build()
+
+
+def long_tail_dataset():
+    """A one-claim wonder vs a steady source with a long record.
+
+    Both currently agree with the majority everywhere they speak, so a
+    point estimate gives them equal (perfect) reliability; CATD's
+    interval bound should trust the long-record source more.
+    """
+    builder = DatasetBuilder()
+    for i in range(30):
+        builder.add_claim("steady", f"o{i}", "a", "right")
+        builder.add_claim("corroborator", f"o{i}", "a", "right")
+    builder.add_claim("wonder", "o0", "a", "right")
+    # The deciding fact: steady vs wonder head to head.
+    builder.add_claim("steady", "duel", "a", "s")
+    builder.add_claim("wonder", "duel", "a", "w")
+    return builder.build()
+
+
+@pytest.mark.parametrize("cls", [CRH, CATD])
+class TestCommonBehaviour:
+    def test_reliable_sources_win_ties(self, cls):
+        result = cls().discover(reliability_dataset())
+        assert result.predictions[Fact("tie", "a")] == "g"
+
+    def test_trust_ordering(self, cls):
+        result = cls().discover(reliability_dataset())
+        assert result.source_trust["good1"] > result.source_trust["bad"]
+
+    def test_predicts_every_fact(self, cls, tiny_dataset):
+        result = cls().discover(tiny_dataset)
+        assert set(result.predictions) == set(tiny_dataset.facts)
+
+    def test_deterministic(self, cls):
+        ds = reliability_dataset()
+        assert cls().discover(ds).predictions == cls().discover(ds).predictions
+
+    def test_rejects_bad_max_iterations(self, cls):
+        with pytest.raises(ValueError):
+            cls(max_iterations=0)
+
+
+class TestCATDSpecifics:
+    def test_long_tail_discounted(self):
+        result = CATD().discover(long_tail_dataset())
+        assert (
+            result.source_trust["steady"] > result.source_trust["wonder"]
+        )
+        assert result.predictions[Fact("duel", "a")] == "s"
+
+    def test_significance_validated(self):
+        with pytest.raises(ValueError):
+            CATD(significance=0.0)
+        with pytest.raises(ValueError):
+            CATD(significance=1.0)
+
+
+class TestCRHSpecifics:
+    def test_weights_normalised(self):
+        result = CRH().discover(reliability_dataset())
+        assert max(result.source_trust.values()) == pytest.approx(1.0)
+
+    def test_converges_quickly_on_clean_data(self):
+        result = CRH().discover(reliability_dataset())
+        assert result.iterations < CRH().max_iterations

@@ -1,0 +1,66 @@
+"""Unit tests for the dataset registry."""
+
+import pytest
+
+from repro.datasets import available, load
+
+
+class TestLoad:
+    @pytest.mark.parametrize("name", ["DS1", "ds2", "DS3"])
+    def test_synthetic_names(self, name):
+        ds = load(name, scale=0.02)
+        assert len(ds.attributes) == 6
+        assert len(ds.sources) == 10
+
+    def test_scale_shrinks_objects(self):
+        small = load("DS1", scale=0.02)
+        assert len(small.objects) == 20
+
+    def test_scale_floor(self):
+        tiny = load("DS1", scale=0.001)
+        assert len(tiny.objects) == 10
+
+    def test_exam_slices(self):
+        ds = load("Exam 32")
+        assert len(ds.attributes) == 32
+
+    def test_semi_synthetic_name(self):
+        ds = load("Semi 62 range 25")
+        assert len(ds.attributes) == 62
+        assert ds.n_claims == 248 * 62
+
+    def test_stocks_and_flights(self):
+        assert len(load("Stocks", scale=0.1).attributes) == 15
+        assert len(load("Flights", scale=0.1).attributes) == 6
+
+    def test_bad_names(self):
+        with pytest.raises(ValueError):
+            load("nope")
+        with pytest.raises(ValueError):
+            load("Exam abc")
+        with pytest.raises(ValueError):
+            load("Semi 62 width 25")
+        with pytest.raises(ValueError):
+            load("DS1", scale=0.0)
+
+
+class TestAvailable:
+    def test_lists_all_families(self):
+        names = available()
+        assert "DS1" in names
+        assert "Stocks" in names
+        assert "Exam 124" in names
+        assert "Semi 62 range 1000" in names
+
+    def test_every_listed_name_loads(self):
+        for name in available():
+            if name.startswith(("Exam", "Semi")):
+                continue  # full-size; covered elsewhere
+            ds = load(name, scale=0.02)
+            assert ds.n_claims > 0
+
+
+def test_books_loads_via_registry():
+    ds = load("Books", scale=0.25)
+    assert ds.attributes == ("authors",)
+    assert len(ds.objects) == 20

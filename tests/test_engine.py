@@ -1,0 +1,137 @@
+"""Unit tests for the group-structured dataset generation engine."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    GeneratorConfig,
+    SourceClass,
+    generate,
+    integer_values,
+    token_values,
+)
+from repro.metrics import source_accuracy
+
+
+def config(**overrides):
+    defaults = dict(
+        name="test",
+        n_objects=40,
+        groups=(("a1", "a2"), ("b1", "b2")),
+        classes=(
+            SourceClass("good", 3, (0.95, 0.95), collusion=0.2),
+            SourceClass("bad", 3, (0.1, 0.9), collusion=0.9),
+        ),
+        seed=5,
+    )
+    defaults.update(overrides)
+    return GeneratorConfig(**defaults)
+
+
+class TestGenerate:
+    def test_counts(self):
+        generated = generate(config())
+        ds = generated.dataset
+        assert len(ds.sources) == 6
+        assert len(ds.objects) == 40
+        assert ds.attributes == ("a1", "a2", "b1", "b2")
+        assert ds.n_claims == 6 * 40 * 4  # full coverage
+
+    def test_reliabilities_realised(self):
+        generated = generate(config(n_objects=150))
+        ds = generated.dataset
+        rates = source_accuracy(ds.restrict_attributes(["a1", "a2"]))
+        good = np.mean([rates[s] for s in ds.sources if s.startswith("good")])
+        bad = np.mean([rates[s] for s in ds.sources if s.startswith("bad")])
+        assert good == pytest.approx(0.95, abs=0.05)
+        assert bad == pytest.approx(0.10, abs=0.05)
+
+    def test_collusion_creates_shared_wrong_values(self):
+        generated = generate(config(n_objects=120))
+        ds = generated.dataset
+        bad_sources = [s for s in ds.sources if s.startswith("bad")]
+        shared = 0
+        wrong_pairs = 0
+        for fact in ds.facts:
+            if fact.attribute not in ("a1", "a2"):
+                continue
+            truth = ds.true_value(fact)
+            wrong = [
+                ds.value(s, fact.object, fact.attribute)
+                for s in bad_sources
+            ]
+            wrong = [v for v in wrong if v is not None and v != truth]
+            if len(wrong) >= 2:
+                wrong_pairs += 1
+                if len(set(wrong)) == 1:
+                    shared += 1
+        assert wrong_pairs > 0
+        assert shared / wrong_pairs > 0.5  # collusion 0.9 dominates
+
+    def test_deterministic_per_seed(self):
+        first = generate(config()).dataset
+        second = generate(config()).dataset
+        assert list(first.iter_claims()) == list(second.iter_claims())
+        different = generate(config(seed=6)).dataset
+        assert list(first.iter_claims()) != list(different.iter_claims())
+
+    def test_coverage_controls(self):
+        generated = generate(
+            config(object_coverage=0.5, attribute_coverage=0.5, n_objects=100)
+        )
+        expected = 6 * 100 * 4 * 0.25
+        assert generated.dataset.n_claims == pytest.approx(expected, rel=0.2)
+
+    def test_hard_facts_lower_accuracy(self):
+        easy = generate(config(n_objects=100))
+        hard = generate(config(n_objects=100, hard_fact_rate=0.5, hard_fact_factor=0.1))
+        def mean_acc(ds):
+            return float(np.mean(list(source_accuracy(ds).values())))
+        assert mean_acc(hard.dataset) < mean_acc(easy.dataset) - 0.1
+
+    def test_source_order_interleaved(self):
+        generated = generate(config())
+        prefixes = [s.split("-")[0] for s in generated.dataset.sources]
+        # With a random permutation it is overwhelmingly unlikely that the
+        # declared order keeps the classes contiguous.
+        assert prefixes != sorted(prefixes)
+
+    def test_planted_groups_carried(self):
+        generated = generate(config())
+        assert generated.planted_groups == (("a1", "a2"), ("b1", "b2"))
+        assert generated.source_class_of["good-1"] == "good"
+
+
+class TestValueFactories:
+    def test_integer_values_disjoint(self):
+        factory = integer_values(3)
+        rng = np.random.default_rng(0)
+        t1, pool1 = factory(rng, "o", "a")
+        t2, pool2 = factory(rng, "o", "b")
+        assert not ({t1, *pool1} & {t2, *pool2})
+
+    def test_token_values_disjoint_and_stringy(self):
+        factory = token_values(3)
+        rng = np.random.default_rng(0)
+        t1, pool1 = factory(rng, "o", "a")
+        t2, pool2 = factory(rng, "o", "b")
+        assert not ({t1, *pool1} & {t2, *pool2})
+        assert all(isinstance(v, str) for v in (t1, t2, *pool1, *pool2))
+
+
+class TestValidation:
+    def test_reliability_arity_checked(self):
+        with pytest.raises(ValueError, match="reliability levels"):
+            config(classes=(SourceClass("good", 2, (0.9,)),))
+
+    def test_reliability_range_checked(self):
+        with pytest.raises(ValueError):
+            SourceClass("bad", 2, (1.5, 0.5))
+
+    def test_coverage_range_checked(self):
+        with pytest.raises(ValueError):
+            config(object_coverage=0.0)
+
+    def test_hard_fact_rate_checked(self):
+        with pytest.raises(ValueError):
+            config(hard_fact_rate=1.5)

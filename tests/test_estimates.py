@@ -1,0 +1,68 @@
+"""Unit tests for 2-Estimates and 3-Estimates."""
+
+import pytest
+
+from repro.algorithms import ThreeEstimates, TwoEstimates
+from repro.data import DatasetBuilder, Fact
+
+
+def dataset():
+    builder = DatasetBuilder()
+    for i in range(12):
+        builder.add_claim("good1", f"o{i}", "a", "agreed")
+        builder.add_claim("good2", f"o{i}", "a", "agreed")
+        builder.add_claim("good3", f"o{i}", "a", "agreed")
+        builder.add_claim("bad", f"o{i}", "a", f"solo{i}")
+    builder.add_claim("good1", "tie", "a", "g")
+    builder.add_claim("bad", "tie", "a", "b")
+    return builder.build()
+
+
+@pytest.mark.parametrize("cls", [TwoEstimates, ThreeEstimates])
+class TestEstimatesFamily:
+    def test_majority_side_gets_trust(self, cls):
+        result = cls().discover(dataset())
+        assert result.source_trust["good1"] > result.source_trust["bad"]
+
+    def test_tie_broken_by_trust(self, cls):
+        if cls is ThreeEstimates:
+            # 3-Estimates folds per-value difficulty into the vote, so a
+            # 1-vs-1 tie is not guaranteed to follow raw source trust;
+            # only the trust ordering itself is asserted for it (above).
+            pytest.skip("tie direction not defined under value difficulty")
+        result = cls().discover(dataset())
+        assert result.predictions[Fact("tie", "a")] == "g"
+
+    def test_beliefs_in_unit_interval(self, cls):
+        result = cls().discover(dataset())
+        for confidence in result.confidence.values():
+            assert -1e-9 <= confidence <= 1.0 + 1e-9
+
+    def test_rejects_bad_rescale(self, cls):
+        with pytest.raises(ValueError):
+            cls(rescale_strength=2.0)
+
+    def test_rejects_bad_max_iterations(self, cls):
+        with pytest.raises(ValueError):
+            cls(max_iterations=0)
+
+    def test_deterministic(self, cls):
+        ds = dataset()
+        assert cls().discover(ds).predictions == cls().discover(ds).predictions
+
+
+def test_negative_votes_matter():
+    # A value contradicted by many trusted sources should lose to one
+    # uncontradicted value even with equal positive support.
+    builder = DatasetBuilder()
+    # Background facts establishing s1..s4 as reliable.
+    for i in range(10):
+        for s in ("s1", "s2", "s3", "s4"):
+            builder.add_claim(s, f"bg{i}", "a", "same")
+    # Fact where s1 claims x and s2, s3, s4 claim y: y should win by
+    # positive votes AND x is implicitly contradicted.
+    builder.add_claim("s1", "f", "a", "x")
+    for s in ("s2", "s3", "s4"):
+        builder.add_claim(s, "f", "a", "y")
+    result = TwoEstimates().discover(builder.build())
+    assert result.predictions[Fact("f", "a")] == "y"

@@ -1,0 +1,97 @@
+"""Unit tests for the Exam simulator and semi-synthetic fillings."""
+
+import pytest
+
+from repro.data import data_coverage_rate
+from repro.datasets import DOMAINS, fill_missing, make_exam, make_semi_synthetic
+
+
+class TestStructure:
+    def test_domain_table_sums(self):
+        assert sum(d.n_questions for d in DOMAINS) == 124
+        assert sum(d.n_questions for d in DOMAINS[:2]) == 32
+        assert sum(d.n_questions for d in DOMAINS[:4]) == 62
+
+    @pytest.mark.parametrize("n_attributes", [32, 62, 124])
+    def test_slice_shapes(self, n_attributes):
+        ds = make_exam(n_attributes)
+        assert len(ds.attributes) == n_attributes
+        assert len(ds.sources) == 248
+        assert len(ds.objects) == 1
+
+    def test_unknown_slice_rejected(self):
+        with pytest.raises(ValueError):
+            make_exam(50)
+
+    def test_answer_key_attached(self):
+        ds = make_exam(32)
+        assert all(v == "key" for v in ds.truth.values())
+        assert len(ds.truth) == 32
+
+
+class TestCoverage:
+    """Coverage rates target the paper's Table 8 (81 / 55 / 36 %)."""
+
+    @pytest.mark.parametrize(
+        "n_attributes,target,slack",
+        [(32, 81, 4), (62, 55, 4), (124, 36, 4)],
+    )
+    def test_coverage_near_table8(self, n_attributes, target, slack):
+        ds = make_exam(n_attributes)
+        assert data_coverage_rate(ds) == pytest.approx(target, abs=slack)
+
+    def test_mandatory_domains_widely_answered(self):
+        ds = make_exam(32)
+        # Every student answers mandatory questions at the answer rate.
+        per_student = {}
+        for claim in ds.iter_claims():
+            per_student[claim.source] = per_student.get(claim.source, 0) + 1
+        answering = sum(1 for count in per_student.values() if count > 0)
+        assert answering == 248
+
+
+class TestSemiSynthetic:
+    def test_fill_gives_full_coverage(self):
+        filled = make_semi_synthetic(62, range_size=50)
+        assert data_coverage_rate(filled) == pytest.approx(100.0)
+        assert filled.n_claims == 248 * 62
+
+    def test_fill_preserves_original_claims(self):
+        original = make_exam(32, seed=1)
+        filled = fill_missing(original, 25, seed=2)
+        for claim in original.iter_claims():
+            assert filled.value(claim.source, claim.object, claim.attribute) == (
+                claim.value
+            )
+
+    def test_filled_values_are_false(self):
+        original = make_exam(32, seed=1)
+        filled = fill_missing(original, 25, seed=2)
+        existing = {
+            (c.source, c.object, c.attribute)
+            for c in original.iter_claims()
+        }
+        for claim in filled.iter_claims():
+            key = (claim.source, claim.object, claim.attribute)
+            if key not in existing:
+                assert claim.value != "key"
+
+    def test_small_range_collides_more(self):
+        narrow = make_semi_synthetic(62, range_size=25)
+        wide = make_semi_synthetic(62, range_size=1000)
+
+        def mean_distinct(ds):
+            return sum(
+                len(ds.values_for(f)) for f in ds.facts
+            ) / len(ds.facts)
+
+        assert mean_distinct(narrow) < mean_distinct(wide)
+
+    def test_range_must_be_positive(self):
+        with pytest.raises(ValueError):
+            fill_missing(make_exam(32), 0)
+
+    def test_deterministic(self):
+        a = make_semi_synthetic(62, 50, seed=3)
+        b = make_semi_synthetic(62, 50, seed=3)
+        assert list(a.iter_claims()) == list(b.iter_claims())

@@ -1,0 +1,58 @@
+"""Smoke tests: the shipped examples must keep running.
+
+Examples are a deliverable, not decoration; each is executed in a
+subprocess and must exit cleanly with non-empty output.
+``partition_exploration.py`` sweeps Bell(6) partitions three times and
+is exercised by the benchmark suite instead.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "sports_trivia.py",
+    "streaming_updates.py",
+    "custom_algorithm.py",
+    "explainability.py",
+]
+
+SLOW_EXAMPLES = [
+    "exam_grading.py",
+    "web_integration.py",
+]
+
+
+def run_example(name: str) -> str:
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    return completed.stdout
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name):
+    output = run_example(name)
+    assert output.strip()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", SLOW_EXAMPLES)
+def test_slow_example_runs(name):
+    output = run_example(name)
+    assert output.strip()
+
+
+def test_every_example_is_listed_somewhere():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    covered = set(FAST_EXAMPLES + SLOW_EXAMPLES + ["partition_exploration.py"])
+    assert on_disk == covered

@@ -1,0 +1,80 @@
+"""Smoke tests for the per-experiment drivers (small scales)."""
+
+import pytest
+
+from repro.evaluation import (
+    figure1_series,
+    pairwise_accuracy_series,
+    semi_synthetic_experiment,
+    standard_suite,
+    table4_experiment,
+    table5_experiment,
+    table8_experiment,
+    table9_experiment,
+)
+
+
+def test_standard_suite_matches_paper_lineup():
+    names = [a.name for a in standard_suite()]
+    assert names == ["MajorityVote", "TruthFinder", "DEPEN", "Accu", "AccuSim"]
+
+
+@pytest.mark.slow
+def test_table4_rows(tmp_path):
+    records = table4_experiment("DS1", scale=0.03, gen_partition_scale=0.01)
+    names = [r.algorithm for r in records]
+    assert names[:5] == [
+        "MajorityVote",
+        "TruthFinder",
+        "DEPEN",
+        "Accu",
+        "AccuSim",
+    ]
+    assert sum("AccuGenPartition" in n for n in names) == 3
+    assert names[-1] == "TD-AC (F=Accu)"
+
+
+def test_table4_without_brute_force():
+    records = table4_experiment("DS1", scale=0.03, gen_partition_scale=None)
+    assert len(records) == 6
+
+
+def test_figure1_series_structure():
+    records = table4_experiment("DS1", scale=0.03, gen_partition_scale=None)
+    series = figure1_series({"DS1": records})
+    assert "DS1" in series
+    assert "TD-AC (F=Accu)" in series["DS1"]
+
+
+@pytest.mark.slow
+def test_table5_rows():
+    rows = table5_experiment("DS3", scale=0.02)
+    approaches = [r.approach for r in rows]
+    assert approaches[0] == "Synthetic data generator"
+    assert approaches[-1] == "TD-AC (F=Accu)"
+    assert len(rows) == 5
+    assert all(r.dataset == "DS3" for r in rows)
+
+
+def test_semi_synthetic_experiment_lineup():
+    records = semi_synthetic_experiment(62, 1000)
+    names = [r.algorithm for r in records]
+    assert names == [
+        "Accu",
+        "TD-AC (F=Accu)",
+        "TruthFinder",
+        "TD-AC (F=TruthFinder)",
+    ]
+
+
+def test_table8_covers_all_real_datasets():
+    stats = table8_experiment(scale=0.1)
+    names = [s.name for s in stats]
+    assert names == ["Stocks", "Exam 32", "Exam 62", "Exam 124", "Flights"]
+
+
+def test_table9_and_pairwise_series():
+    records = table9_experiment("Flights", scale=0.2)
+    series = pairwise_accuracy_series({"Flights": records})
+    assert set(series) == {"Flights"}
+    assert len(series["Flights"]) == 4

@@ -1,0 +1,94 @@
+"""Unit tests for the AccuGenPartition brute-force baseline."""
+
+import pytest
+
+from repro.algorithms import MajorityVote
+from repro.baselines import (
+    AccuGenPartition,
+    WEIGHTING_FUNCTIONS,
+    avg_weighting,
+    max_weighting,
+    oracle_weighting,
+)
+from repro.core import Partition, run_blocks
+from repro.data import GroundTruthError
+from repro.datasets import make_synthetic
+from repro.metrics import evaluate_predictions
+
+
+@pytest.fixture(scope="module")
+def small_generated():
+    return make_synthetic("DS3", n_objects=12, seed=11)
+
+
+class TestWeightingFunctions:
+    def test_registry(self):
+        assert set(WEIGHTING_FUNCTIONS) == {"max", "avg", "oracle"}
+
+    def test_max_vs_avg_on_block_results(self, small_generated):
+        dataset = small_generated.dataset
+        partition = Partition.whole(dataset.attributes)
+        blocks = run_blocks(MajorityVote(), dataset, partition)
+        max_score = max_weighting(dataset, partition, blocks)
+        avg_score = avg_weighting(dataset, partition, blocks)
+        assert 0.0 <= avg_score <= max_score <= 1.0
+
+    def test_oracle_equals_merged_accuracy(self, small_generated):
+        dataset = small_generated.dataset
+        partition = Partition.whole(dataset.attributes)
+        blocks = run_blocks(MajorityVote(), dataset, partition)
+        score = oracle_weighting(dataset, partition, blocks)
+        merged = {}
+        for block in blocks:
+            merged.update(block.predictions)
+        assert score == pytest.approx(
+            evaluate_predictions(dataset, merged).accuracy
+        )
+
+    def test_oracle_requires_truth(self, small_generated):
+        dataset = small_generated.dataset
+        stripped = dataset.with_truth({})
+        partition = Partition.whole(dataset.attributes)
+        blocks = run_blocks(MajorityVote(), stripped, partition)
+        with pytest.raises(GroundTruthError):
+            oracle_weighting(stripped, partition, blocks)
+
+
+class TestAccuGenPartition:
+    def test_explores_bell_number_partitions(self, small_generated):
+        baseline = AccuGenPartition(MajorityVote(), weighting="oracle")
+        outcome = baseline.run(small_generated.dataset)
+        assert outcome.n_partitions_explored == 203  # Bell(6)
+
+    def test_exclude_trivial(self, small_generated):
+        baseline = AccuGenPartition(
+            MajorityVote(), weighting="oracle", include_trivial=False
+        )
+        outcome = baseline.run(small_generated.dataset)
+        assert outcome.n_partitions_explored == 201
+        assert outcome.partition.n_blocks not in (1, 6)
+
+    def test_oracle_never_loses_to_other_weightings(self, small_generated):
+        dataset = small_generated.dataset
+        results = {}
+        for weighting in ("max", "avg", "oracle"):
+            outcome = AccuGenPartition(MajorityVote(), weighting).run(dataset)
+            results[weighting] = evaluate_predictions(
+                dataset, outcome.predictions
+            ).accuracy
+        assert results["oracle"] >= results["max"] - 1e-9
+        assert results["oracle"] >= results["avg"] - 1e-9
+
+    def test_predictions_cover_all_facts(self, small_generated):
+        outcome = AccuGenPartition(MajorityVote(), "avg").run(
+            small_generated.dataset
+        )
+        assert set(outcome.predictions) == set(small_generated.dataset.facts)
+
+    def test_unknown_weighting_rejected(self):
+        with pytest.raises(ValueError, match="unknown weighting"):
+            AccuGenPartition(MajorityVote(), weighting="median")
+
+    def test_name_includes_weighting(self):
+        baseline = AccuGenPartition(MajorityVote(), "max")
+        assert baseline.name == "AccuGenPartition (Max)"

@@ -1,0 +1,151 @@
+"""Unit and property tests for the compiled DatasetIndex and segment ops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data import DatasetBuilder, DatasetIndex, Fact
+from repro.data.index import (
+    segment_argmax,
+    segment_max,
+    segment_mean,
+    segment_sum,
+)
+
+
+def segments_strategy():
+    """Random (values, starts) pairs describing contiguous segments."""
+    return st.lists(
+        st.lists(st.floats(-100, 100), min_size=1, max_size=6),
+        min_size=1,
+        max_size=8,
+    )
+
+
+class TestSegmentOps:
+    @given(segments_strategy())
+    def test_segment_sum_matches_python(self, groups):
+        values = np.array([v for g in groups for v in g])
+        starts = np.cumsum([0] + [len(g) for g in groups])
+        expected = [sum(g) for g in groups]
+        assert np.allclose(segment_sum(values, starts), expected)
+
+    @given(segments_strategy())
+    def test_segment_max_matches_python(self, groups):
+        values = np.array([v for g in groups for v in g])
+        starts = np.cumsum([0] + [len(g) for g in groups])
+        expected = [max(g) for g in groups]
+        assert np.allclose(segment_max(values, starts), expected)
+
+    @given(segments_strategy())
+    def test_segment_mean_matches_python(self, groups):
+        values = np.array([v for g in groups for v in g])
+        starts = np.cumsum([0] + [len(g) for g in groups])
+        expected = [sum(g) / len(g) for g in groups]
+        assert np.allclose(segment_mean(values, starts), expected)
+
+    @given(segments_strategy())
+    def test_segment_argmax_is_first_maximum(self, groups):
+        values = np.array([v for g in groups for v in g])
+        starts = np.cumsum([0] + [len(g) for g in groups])
+        result = segment_argmax(values, starts)
+        offset = 0
+        for g_id, group in enumerate(groups):
+            expected = offset + group.index(max(group))
+            assert result[g_id] == expected
+            offset += len(group)
+
+    def test_empty_values(self):
+        starts = np.array([0])
+        assert len(segment_sum(np.array([]), starts)) == 0
+
+
+@pytest.fixture
+def index(tiny_dataset):
+    return DatasetIndex(tiny_dataset)
+
+
+class TestDatasetIndex:
+    def test_shapes(self, index, tiny_dataset):
+        assert index.n_sources == len(tiny_dataset.sources)
+        assert index.n_facts == len(tiny_dataset.facts)
+        assert index.n_claims == tiny_dataset.n_claims
+        assert index.n_slots == len(index.slot_values)
+
+    def test_slots_grouped_by_fact(self, index):
+        assert (np.diff(index.slot_fact) >= 0).all()
+        starts = index.fact_slot_start
+        assert starts[0] == 0
+        assert starts[-1] == index.n_slots
+
+    def test_true_slot_points_at_truth(self, index, tiny_dataset):
+        for f_id, fact in enumerate(index.facts):
+            truth = tiny_dataset.true_value(fact)
+            slot = index.true_slot[f_id]
+            if truth in tiny_dataset.values_for(fact):
+                assert index.slot_values[slot] == truth
+            else:
+                assert slot == -1
+
+    def test_claims_per_source_counts(self, index, tiny_dataset):
+        for s_id, source in enumerate(tiny_dataset.sources):
+            expected = len(tiny_dataset.claims_by_source[source])
+            assert index.claims_per_source[s_id] == expected
+
+    def test_slot_scores_are_weighted_votes(self, index):
+        weights = np.arange(1.0, index.n_sources + 1)
+        scores = index.slot_scores(weights)
+        expected = np.zeros(index.n_slots)
+        for claim_id in range(index.n_claims):
+            expected[index.claim_slot[claim_id]] += weights[
+                index.claim_source[claim_id]
+            ]
+        assert np.allclose(scores, expected)
+
+    def test_normalize_per_fact_sums_to_one(self, index):
+        scores = np.random.default_rng(0).random(index.n_slots) + 0.1
+        normalized = index.normalize_per_fact(scores)
+        sums = segment_sum(normalized, index.fact_slot_start)
+        assert np.allclose(sums, 1.0)
+
+    def test_softmax_per_fact_sums_to_one(self, index):
+        scores = np.random.default_rng(0).normal(size=index.n_slots) * 50
+        soft = index.softmax_per_fact(scores)
+        sums = segment_sum(soft, index.fact_slot_start)
+        assert np.allclose(sums, 1.0)
+        assert (soft >= 0).all()
+
+    def test_winning_slots_prefers_higher_score(self, index):
+        scores = np.zeros(index.n_slots)
+        # Make the last slot of each fact the winner.
+        for f_id in range(index.n_facts):
+            scores[index.fact_slot_start[f_id + 1] - 1] = 1.0
+        winners = index.winning_slots(scores)
+        for f_id in range(index.n_facts):
+            assert winners[f_id] == index.fact_slot_start[f_id + 1] - 1
+
+    def test_tie_break_is_deterministic(self, index):
+        scores = np.zeros(index.n_slots)
+        first = index.winning_slots(scores)
+        second = index.winning_slots(scores)
+        assert (first == second).all()
+
+    def test_predictions_from_slots(self, index, tiny_dataset):
+        winners = index.winning_slots(index.votes_per_slot)
+        predictions = index.predictions_from_slots(winners)
+        assert set(predictions) == set(tiny_dataset.facts)
+
+    def test_source_mean_of_slots(self, index):
+        ones = np.ones(index.n_slots)
+        means = index.source_mean_of_slots(ones)
+        covered = index.claims_per_source > 0
+        assert np.allclose(means[covered], 1.0)
+
+
+class TestSingleClaimDataset:
+    def test_degenerate_dataset(self):
+        ds = DatasetBuilder().add_claim("s1", "o1", "a1", 5).build()
+        index = DatasetIndex(ds)
+        assert index.n_slots == 1
+        winners = index.winning_slots(index.votes_per_slot)
+        assert index.predictions_from_slots(winners) == {Fact("o1", "a1"): 5}

@@ -1,0 +1,113 @@
+"""Round-trip tests for dataset serialisation."""
+
+import pytest
+
+from repro.data import (
+    DataError,
+    dataset_from_dict,
+    dataset_to_dict,
+    load_csv,
+    load_json,
+    save_claims_csv,
+    save_json,
+    save_truth_csv,
+)
+
+
+class TestJson:
+    def test_dict_roundtrip(self, tiny_dataset):
+        payload = dataset_to_dict(tiny_dataset)
+        restored = dataset_from_dict(payload)
+        assert restored.sources == tiny_dataset.sources
+        assert restored.attributes == tiny_dataset.attributes
+        assert restored.truth == tiny_dataset.truth
+        assert {
+            (c.source, c.object, c.attribute, c.value)
+            for c in restored.iter_claims()
+        } == {
+            (c.source, c.object, c.attribute, c.value)
+            for c in tiny_dataset.iter_claims()
+        }
+
+    def test_file_roundtrip(self, tiny_dataset, tmp_path):
+        path = tmp_path / "ds.json"
+        save_json(tiny_dataset, path)
+        restored = load_json(path)
+        assert restored.n_claims == tiny_dataset.n_claims
+        assert restored.name == tiny_dataset.name
+
+    def test_rejects_unknown_version(self):
+        with pytest.raises(DataError, match="format version"):
+            dataset_from_dict({"format_version": 999})
+
+    def test_freezes_lists(self):
+        payload = {
+            "format_version": 1,
+            "claims": [["s1", "o1", "a1", [1, 2]]],
+        }
+        ds = dataset_from_dict(payload)
+        values = ds.values_for(ds.facts[0])
+        assert values == ((1, 2),)
+
+
+class TestCsv:
+    def test_roundtrip(self, tiny_dataset, tmp_path):
+        claims_path = tmp_path / "claims.csv"
+        truth_path = tmp_path / "truth.csv"
+        save_claims_csv(tiny_dataset, claims_path)
+        save_truth_csv(tiny_dataset, truth_path)
+        restored = load_csv(claims_path, truth_path, name="restored")
+        assert restored.n_claims == tiny_dataset.n_claims
+        assert restored.name == "restored"
+        # CSV stringifies values.
+        assert set(restored.truth.values()) == {
+            str(v) for v in tiny_dataset.truth.values()
+        }
+
+    def test_claims_only(self, tiny_dataset, tmp_path):
+        claims_path = tmp_path / "claims.csv"
+        save_claims_csv(tiny_dataset, claims_path)
+        restored = load_csv(claims_path)
+        assert not restored.has_truth
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("foo,bar\n1,2\n")
+        with pytest.raises(DataError, match="missing CSV columns"):
+            load_csv(path)
+
+
+class TestJsonl:
+    def test_roundtrip(self, tiny_dataset, tmp_path):
+        from repro.data import load_claims_jsonl, save_claims_jsonl
+
+        path = tmp_path / "claims.jsonl"
+        save_claims_jsonl(tiny_dataset, path)
+        restored = load_claims_jsonl(path, name="jsonl")
+        assert restored.n_claims == tiny_dataset.n_claims
+        assert {
+            (c.source, c.object, c.attribute, c.value)
+            for c in restored.iter_claims()
+        } == {
+            (c.source, c.object, c.attribute, c.value)
+            for c in tiny_dataset.iter_claims()
+        }
+
+    def test_blank_lines_skipped(self, tmp_path):
+        from repro.data import load_claims_jsonl
+
+        path = tmp_path / "claims.jsonl"
+        path.write_text(
+            '{"source": "s", "object": "o", "attribute": "a", "value": 1}\n'
+            "\n"
+            '{"source": "s2", "object": "o", "attribute": "a", "value": 2}\n'
+        )
+        assert load_claims_jsonl(path).n_claims == 2
+
+    def test_malformed_line_reports_position(self, tmp_path):
+        from repro.data import DataError, load_claims_jsonl
+
+        path = tmp_path / "claims.jsonl"
+        path.write_text('{"source": "s"}\n')
+        with pytest.raises(DataError, match=":1:"):
+            load_claims_jsonl(path)

@@ -1,0 +1,110 @@
+"""Unit and property tests for the from-scratch k-means."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clustering import KMeans, inertia_of
+
+
+def blobs(seed=0, per_cluster=20):
+    """Three well-separated Gaussian blobs in 2-D."""
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0]])
+    data = np.vstack(
+        [c + rng.normal(scale=0.5, size=(per_cluster, 2)) for c in centers]
+    )
+    labels = np.repeat(np.arange(3), per_cluster)
+    return data, labels
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self):
+        data, truth = blobs()
+        result = KMeans(n_clusters=3, seed=0).fit(data)
+        # Same-blob points must share a label.
+        for blob in range(3):
+            blob_labels = set(result.labels[truth == blob].tolist())
+            assert len(blob_labels) == 1
+
+    def test_inertia_matches_labels(self):
+        data, _ = blobs()
+        result = KMeans(n_clusters=3, seed=0).fit(data)
+        assert result.inertia == pytest.approx(
+            inertia_of(data, result.labels), rel=1e-6
+        )
+
+    def test_deterministic_given_seed(self):
+        data, _ = blobs()
+        first = KMeans(n_clusters=3, seed=42).fit(data)
+        second = KMeans(n_clusters=3, seed=42).fit(data)
+        assert (first.labels == second.labels).all()
+        assert first.inertia == second.inertia
+
+    def test_more_clusters_never_increase_inertia(self):
+        data, _ = blobs()
+        inertias = [
+            KMeans(n_clusters=k, seed=0, n_init=5).fit(data).inertia
+            for k in (1, 2, 3, 4, 5)
+        ]
+        # Weak monotonicity: inertia is non-increasing in k (up to
+        # restart luck, which n_init=5 makes negligible on blobs).
+        for smaller, larger in zip(inertias, inertias[1:]):
+            assert larger <= smaller + 1e-6
+
+    def test_labels_are_compact(self):
+        data, _ = blobs()
+        result = KMeans(n_clusters=3, seed=1).fit(data)
+        assert set(result.labels.tolist()) == set(range(result.k))
+
+    def test_clusters_listing(self):
+        data, _ = blobs(per_cluster=5)
+        result = KMeans(n_clusters=3, seed=0).fit(data)
+        groups = result.clusters()
+        assert sorted(i for g in groups for i in g) == list(range(len(data)))
+
+    def test_k_equal_n_gives_zero_inertia(self):
+        data = np.array([[0.0], [1.0], [5.0]])
+        result = KMeans(n_clusters=3, seed=0).fit(data)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_duplicate_points_do_not_crash(self):
+        data = np.zeros((6, 3))
+        result = KMeans(n_clusters=2, seed=0).fit(data)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_random_init_also_works(self):
+        data, _ = blobs()
+        result = KMeans(n_clusters=3, seed=0, init="random").fit(data)
+        assert result.inertia < 100.0
+
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_binary_rows_stay_clustered(self, seed):
+        rng = np.random.default_rng(seed)
+        base = np.array([[0] * 8, [1] * 8], dtype=float)
+        rows = base[rng.integers(0, 2, size=12)]
+        result = KMeans(n_clusters=2, seed=0).fit(rows)
+        # Identical rows must always be co-clustered.
+        for pattern in (0.0, 1.0):
+            members = result.labels[rows[:, 0] == pattern]
+            if len(members):
+                assert len(set(members.tolist())) == 1
+
+
+class TestValidation:
+    def test_rejects_more_clusters_than_rows(self):
+        with pytest.raises(ValueError, match="cannot fit"):
+            KMeans(n_clusters=5).fit(np.zeros((3, 2)))
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=0)
+
+    def test_rejects_bad_init(self):
+        with pytest.raises(ValueError, match="init"):
+            KMeans(n_clusters=2, init="bogus")
+
+    def test_rejects_1d_data(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=2).fit(np.zeros(5))

@@ -1,0 +1,57 @@
+"""Unit tests for SimpleLCA."""
+
+import pytest
+
+from repro.algorithms import SimpleLCA
+from repro.data import DatasetBuilder, Fact
+
+
+def honesty_dataset():
+    builder = DatasetBuilder()
+    for i in range(15):
+        builder.add_claim("honest1", f"o{i}", "a", "truth")
+        builder.add_claim("honest2", f"o{i}", "a", "truth")
+        builder.add_claim("liar", f"o{i}", "a", f"lie{i}")
+    builder.add_claim("honest1", "duel", "a", "h")
+    builder.add_claim("liar", "duel", "a", "l")
+    return builder.build()
+
+
+class TestSimpleLCA:
+    def test_honesty_separates_sources(self):
+        result = SimpleLCA().discover(honesty_dataset())
+        assert result.source_trust["honest1"] > result.source_trust["liar"]
+
+    def test_honest_source_wins_duel(self):
+        result = SimpleLCA().discover(honesty_dataset())
+        assert result.predictions[Fact("duel", "a")] == "h"
+
+    def test_beliefs_are_probabilities(self):
+        result = SimpleLCA().discover(honesty_dataset())
+        for confidence in result.confidence.values():
+            assert 0.0 <= confidence <= 1.0
+
+    def test_em_converges(self):
+        result = SimpleLCA().discover(honesty_dataset())
+        assert result.iterations < SimpleLCA().max_iterations
+
+    def test_honesty_bounded(self):
+        result = SimpleLCA().discover(honesty_dataset())
+        for trust in result.source_trust.values():
+            assert 0.0 < trust < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimpleLCA(initial_honesty=0.0)
+        with pytest.raises(ValueError):
+            SimpleLCA(max_iterations=0)
+
+    def test_deterministic(self):
+        ds = honesty_dataset()
+        first = SimpleLCA().discover(ds)
+        second = SimpleLCA().discover(ds)
+        assert first.predictions == second.predictions
+
+    def test_single_candidate_facts(self, tiny_dataset):
+        result = SimpleLCA().discover(tiny_dataset)
+        assert set(result.predictions) == set(tiny_dataset.facts)

@@ -1,0 +1,34 @@
+"""Unit tests for the leaderboard runner."""
+
+from repro.evaluation import leaderboard
+
+
+def test_ranks_are_sequential_and_sorted(small_ds1):
+    entries = leaderboard(
+        small_ds1.dataset,
+        include_tdac=False,
+        algorithms=["MajorityVote", "TruthFinder", "Sums"],
+    )
+    assert [e.rank for e in entries] == [1, 2, 3]
+    accuracies = [e.record.accuracy for e in entries]
+    assert accuracies == sorted(accuracies, reverse=True)
+
+
+def test_tdac_rows_included(small_ds1):
+    entries = leaderboard(
+        small_ds1.dataset,
+        include_tdac=True,
+        algorithms=["MajorityVote"],
+        seed=0,
+    )
+    names = {e.record.algorithm for e in entries}
+    assert names == {"MajorityVote", "TD-AC (F=MajorityVote)"}
+
+
+def test_as_row_prepends_rank(small_ds1):
+    entries = leaderboard(
+        small_ds1.dataset, include_tdac=False, algorithms=["MajorityVote"]
+    )
+    row = entries[0].as_row()
+    assert row[0] == 1
+    assert row[1] == "MajorityVote"

@@ -1,0 +1,44 @@
+"""Unit tests for majority voting."""
+
+import pytest
+
+from repro.algorithms import MajorityVote
+from repro.data import DatasetBuilder, Fact
+
+
+class TestMajorityVote:
+    def test_majority_wins(self):
+        builder = DatasetBuilder()
+        builder.add_claim("s1", "o1", "a1", "x")
+        builder.add_claim("s2", "o1", "a1", "x")
+        builder.add_claim("s3", "o1", "a1", "y")
+        result = MajorityVote().discover(builder.build())
+        assert result.predictions[Fact("o1", "a1")] == "x"
+
+    def test_single_pass(self, tiny_dataset):
+        result = MajorityVote().discover(tiny_dataset)
+        assert result.iterations == 1
+
+    def test_predicts_every_claimed_fact(self, tiny_dataset):
+        result = MajorityVote().discover(tiny_dataset)
+        assert set(result.predictions) == set(tiny_dataset.facts)
+
+    def test_confidence_is_vote_share(self):
+        builder = DatasetBuilder()
+        for s in ("s1", "s2", "s3"):
+            builder.add_claim(s, "o1", "a1", "x")
+        builder.add_claim("s4", "o1", "a1", "y")
+        result = MajorityVote().discover(builder.build())
+        assert result.confidence[Fact("o1", "a1")] == pytest.approx(0.75)
+
+    def test_trust_reflects_agreement_with_winners(self, tiny_dataset):
+        result = MajorityVote().discover(tiny_dataset)
+        # s1 wins the 'a' facts outright (s1+s3 vs s2); 'b' facts are
+        # three-way ties, so only the ordering is guaranteed.
+        assert result.source_trust["s1"] >= 0.5
+        assert result.source_trust["s1"] > result.source_trust["s2"]
+
+    def test_deterministic(self, tiny_dataset):
+        first = MajorityVote().discover(tiny_dataset)
+        second = MajorityVote().discover(tiny_dataset)
+        assert first.predictions == second.predictions

@@ -1,0 +1,139 @@
+"""Unit and property tests for claim normalisation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data import (
+    DatasetBuilder,
+    Fact,
+    UnionFind,
+    canonicalize_fact_values,
+    normalize_dataset,
+)
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind(4)
+        assert len(uf.groups()) == 4
+
+    def test_union_merges(self):
+        uf = UnionFind(4)
+        uf.union(0, 2)
+        uf.union(2, 3)
+        groups = uf.groups()
+        assert [0, 2, 3] in groups
+        assert [1] in groups
+
+    def test_union_idempotent(self):
+        uf = UnionFind(3)
+        uf.union(0, 1)
+        uf.union(1, 0)
+        assert len(uf.groups()) == 2
+
+    @given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=30))
+    def test_groups_partition_universe(self, unions):
+        uf = UnionFind(10)
+        for a, b in unions:
+            uf.union(a, b)
+        members = sorted(i for g in uf.groups() for i in g)
+        assert members == list(range(10))
+
+    @given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=30))
+    def test_find_is_transitive(self, unions):
+        uf = UnionFind(10)
+        for a, b in unions:
+            uf.union(a, b)
+        for a, b in unions:
+            assert uf.find(a) == uf.find(b)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+
+class TestCanonicalize:
+    def test_near_numbers_merge(self):
+        values = (10.00, 10.001, 25.0)
+        counts = {10.00: 3, 10.001: 1, 25.0: 2}
+        mapping = canonicalize_fact_values(values, counts, threshold=0.95)
+        assert mapping[10.001] == 10.00  # most-claimed representative
+        assert mapping[25.0] == 25.0
+
+    def test_distinct_values_untouched(self):
+        values = ("alpha", "omega")
+        mapping = canonicalize_fact_values(values, {"alpha": 1, "omega": 1}, 0.9)
+        assert mapping == {"alpha": "alpha", "omega": "omega"}
+
+
+class TestNormalizeDataset:
+    def build(self):
+        builder = DatasetBuilder()
+        builder.add_claim("s1", "o", "price", 10.00)
+        builder.add_claim("s2", "o", "price", 10.001)
+        builder.add_claim("s3", "o", "price", 10.00)
+        builder.add_claim("s4", "o", "price", 99.0)
+        builder.set_truth("o", "price", 10.001)
+        return builder.build()
+
+    def test_merges_votes(self):
+        normalized, report = normalize_dataset(self.build(), threshold=0.95)
+        values = normalized.values_for(Fact("o", "price"))
+        assert set(values) == {10.00, 99.0}
+        assert report.n_facts_touched == 1
+        assert report.n_values_merged == 1
+
+    def test_truth_remapped(self):
+        normalized, _ = normalize_dataset(self.build(), threshold=0.95)
+        assert normalized.true_value(Fact("o", "price")) == 10.00
+
+    def test_threshold_one_is_identity(self):
+        normalized, report = normalize_dataset(self.build(), threshold=1.0)
+        assert report.n_values_merged == 0
+        assert normalized.n_claims == 4
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            normalize_dataset(self.build(), threshold=0.0)
+
+    def test_majority_vote_improves_after_normalisation(self):
+        # Split votes 2+1 vs 2: raw MV might pick 99 after the split...
+        builder = DatasetBuilder()
+        builder.add_claim("s1", "o", "p", 10.00)
+        builder.add_claim("s2", "o", "p", 10.01)
+        builder.add_claim("s3", "o", "p", 10.02)
+        builder.add_claim("s4", "o", "p", 99.0)
+        builder.add_claim("s5", "o", "p", 99.0)
+        builder.set_truth("o", "p", 10.00)
+        dataset = builder.build()
+        from repro.algorithms import MajorityVote
+
+        raw = MajorityVote().discover(dataset)
+        assert raw.predictions[Fact("o", "p")] == 99.0  # split votes lose
+        normalized, _ = normalize_dataset(dataset, threshold=0.99)
+        merged = MajorityVote().discover(normalized)
+        assert merged.predictions[Fact("o", "p")] != 99.0
+
+
+class TestTruthRemapBySimilarity:
+    def test_unclaimed_numeric_truth_joins_its_class(self):
+        builder = DatasetBuilder()
+        # Truth is 10.00 but every honest report is jittered.
+        builder.add_claim("s1", "o", "p", 10.01)
+        builder.add_claim("s2", "o", "p", 9.99)
+        builder.add_claim("s3", "o", "p", 10.02)
+        builder.add_claim("s4", "o", "p", 55.0)
+        builder.set_truth("o", "p", 10.00)
+        normalized, _ = normalize_dataset(builder.build(), threshold=0.995)
+        truth = normalized.true_value(Fact("o", "p"))
+        # The truth becomes the canonical representative of the jitter
+        # cluster, so honest predictions evaluate as correct.
+        assert truth in (10.01, 9.99, 10.02)
+
+    def test_dissimilar_truth_left_alone(self):
+        builder = DatasetBuilder()
+        builder.add_claim("s1", "o", "p", 10.0)
+        builder.add_claim("s2", "o", "p", 11.0)
+        builder.set_truth("o", "p", 999.0)
+        normalized, _ = normalize_dataset(builder.build(), threshold=0.995)
+        assert normalized.true_value(Fact("o", "p")) == 999.0

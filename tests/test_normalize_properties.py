@@ -1,0 +1,69 @@
+"""Property-based tests for claim canonicalisation."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.data import canonicalize_fact_values
+
+
+@st.composite
+def fact_values(draw):
+    """Random numeric value sets with claim counts."""
+    n = draw(st.integers(2, 8))
+    rng = np.random.default_rng(draw(st.integers(0, 2**16)))
+    # Mix of clustered values (base +- jitter) and isolated ones.
+    bases = rng.uniform(10, 1000, size=max(n // 2, 1))
+    values = []
+    for i in range(n):
+        base = float(bases[i % len(bases)])
+        jitter = float(rng.normal(0, base * 0.001))
+        values.append(round(base + jitter, 3))
+    values = tuple(dict.fromkeys(values))  # distinct, order-preserving
+    counts = {v: int(rng.integers(1, 5)) for v in values}
+    return values, counts
+
+
+COMMON = settings(max_examples=40, deadline=None)
+
+
+@given(fact_values(), st.floats(0.5, 1.0))
+@COMMON
+def test_mapping_covers_all_values(data, threshold):
+    values, counts = data
+    mapping = canonicalize_fact_values(values, counts, threshold)
+    assert set(mapping) == set(values)
+
+
+@given(fact_values(), st.floats(0.5, 1.0))
+@COMMON
+def test_canonicals_are_claimed_values(data, threshold):
+    values, counts = data
+    mapping = canonicalize_fact_values(values, counts, threshold)
+    for canonical in mapping.values():
+        assert canonical in values
+
+
+@given(fact_values(), st.floats(0.5, 1.0))
+@COMMON
+def test_mapping_is_idempotent(data, threshold):
+    values, counts = data
+    mapping = canonicalize_fact_values(values, counts, threshold)
+    for canonical in set(mapping.values()):
+        assert mapping[canonical] == canonical
+
+
+@given(fact_values())
+@COMMON
+def test_threshold_one_keeps_everything_distinct(data):
+    values, counts = data
+    mapping = canonicalize_fact_values(values, counts, 1.0)
+    assert all(mapping[v] == v for v in values)
+
+
+@given(fact_values(), st.floats(0.5, 1.0))
+@COMMON
+def test_deterministic(data, threshold):
+    values, counts = data
+    first = canonicalize_fact_values(values, counts, threshold)
+    second = canonicalize_fact_values(values, counts, threshold)
+    assert first == second

@@ -1,0 +1,113 @@
+"""Unit and property tests for attribute partitions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import Partition, adjusted_rand_index, rand_index
+
+
+class TestConstruction:
+    def test_blocks_are_canonicalised(self):
+        p1 = Partition.from_blocks([("b", "a"), ("c",)])
+        p2 = Partition.from_blocks([("c",), ("a", "b")])
+        assert p1 == p2
+        assert p1.blocks == (("a", "b"), ("c",))
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Partition.from_blocks([("a",), ()])
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError, match="multiple blocks"):
+            Partition.from_blocks([("a", "b"), ("b", "c")])
+
+    def test_from_labels(self):
+        p = Partition.from_labels(["a", "b", "c"], [0, 1, 0])
+        assert p == Partition.from_blocks([("a", "c"), ("b",)])
+
+    def test_from_labels_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Partition.from_labels(["a"], [0, 1])
+
+    def test_singletons_and_whole(self):
+        attrs = ("a", "b", "c")
+        assert Partition.singletons(attrs).n_blocks == 3
+        assert Partition.whole(attrs).n_blocks == 1
+
+
+class TestAccess:
+    def test_attributes_sorted(self):
+        p = Partition.from_blocks([("c", "b"), ("a",)])
+        assert p.attributes == ("a", "b", "c")
+
+    def test_block_of(self):
+        p = Partition.from_blocks([("a", "b"), ("c",)])
+        assert p.block_of("b") == ("a", "b")
+        with pytest.raises(KeyError):
+            p.block_of("z")
+
+    def test_labels_roundtrip(self):
+        p = Partition.from_blocks([("a", "c"), ("b",)])
+        labels = p.labels(["a", "b", "c"])
+        assert Partition.from_labels(["a", "b", "c"], labels) == p
+
+    def test_str_uses_paper_format(self):
+        p = Partition.from_blocks([("a1", "a2"), ("a3",)])
+        assert str(p) == "[(a1,a2),(a3)]"
+
+    def test_iteration_and_len(self):
+        p = Partition.from_blocks([("a",), ("b",)])
+        assert len(p) == 2
+        assert list(p) == [("a",), ("b",)]
+
+
+class TestRandIndices:
+    def test_identical_partitions(self):
+        p = Partition.from_blocks([("a", "b"), ("c",)])
+        assert rand_index(p, p) == 1.0
+        assert adjusted_rand_index(p, p) == 1.0
+
+    def test_opposite_partitions(self):
+        whole = Partition.whole(("a", "b", "c", "d"))
+        singles = Partition.singletons(("a", "b", "c", "d"))
+        assert rand_index(whole, singles) == 0.0
+
+    def test_known_value(self):
+        ref = Partition.from_blocks([("a", "b"), ("c", "d")])
+        cand = Partition.from_blocks([("a", "b", "c"), ("d",)])
+        # Pairs: ab together/together (agree); cd together/apart;
+        # ac, bc apart/together; ad, bd apart/apart (agree).
+        assert rand_index(ref, cand) == pytest.approx(3 / 6)
+
+    def test_ari_zero_ish_for_random(self):
+        ref = Partition.from_blocks([("a", "b"), ("c", "d")])
+        cand = Partition.from_blocks([("a", "c"), ("b", "d")])
+        assert adjusted_rand_index(ref, cand) < 0.5
+
+    def test_mismatched_attribute_sets_rejected(self):
+        p1 = Partition.whole(("a", "b"))
+        p2 = Partition.whole(("a", "c"))
+        with pytest.raises(ValueError, match="different attribute sets"):
+            rand_index(p1, p2)
+
+
+@given(
+    st.lists(st.integers(0, 3), min_size=2, max_size=8),
+    st.lists(st.integers(0, 3), min_size=2, max_size=8),
+)
+def test_rand_index_bounds(labels_a, labels_b):
+    n = min(len(labels_a), len(labels_b))
+    attrs = [f"a{i}" for i in range(n)]
+    pa = Partition.from_labels(attrs, labels_a[:n])
+    pb = Partition.from_labels(attrs, labels_b[:n])
+    value = rand_index(pa, pb)
+    assert 0.0 <= value <= 1.0
+    assert rand_index(pb, pa) == pytest.approx(value)
+
+
+@given(st.lists(st.integers(0, 3), min_size=2, max_size=8))
+def test_ari_is_one_for_self(labels):
+    attrs = [f"a{i}" for i in range(len(labels))]
+    p = Partition.from_labels(attrs, labels)
+    assert adjusted_rand_index(p, p) == pytest.approx(1.0)

@@ -1,0 +1,50 @@
+"""Unit tests for partition-quality metrics."""
+
+import pytest
+
+from repro.core import Partition
+from repro.metrics import compare_partitions, is_refinement
+
+
+class TestCompare:
+    def test_exact_match(self):
+        p = Partition.from_blocks([("a", "b"), ("c",)])
+        agreement = compare_partitions(p, p)
+        assert agreement.exact
+        assert agreement.rand == 1.0
+        assert agreement.adjusted_rand == 1.0
+
+    def test_rows_report_block_counts(self):
+        ref = Partition.from_blocks([("a", "b"), ("c",)])
+        cand = Partition.singletons(("a", "b", "c"))
+        agreement = compare_partitions(ref, cand)
+        assert not agreement.exact
+        assert agreement.n_blocks_reference == 2
+        assert agreement.n_blocks_candidate == 3
+        row = agreement.as_row()
+        assert row[0] is False
+
+
+class TestRefinement:
+    def test_singletons_refine_everything(self):
+        coarse = Partition.from_blocks([("a", "b"), ("c",)])
+        fine = Partition.singletons(("a", "b", "c"))
+        assert is_refinement(fine, coarse)
+
+    def test_whole_refines_nothing_nontrivial(self):
+        coarse = Partition.from_blocks([("a", "b"), ("c",)])
+        whole = Partition.whole(("a", "b", "c"))
+        assert not is_refinement(whole, coarse)
+
+    def test_self_refinement(self):
+        p = Partition.from_blocks([("a", "b"), ("c",)])
+        assert is_refinement(p, p)
+
+    def test_mixed_block_is_not_refinement(self):
+        coarse = Partition.from_blocks([("a", "b"), ("c", "d")])
+        crossing = Partition.from_blocks([("a", "c"), ("b", "d")])
+        assert not is_refinement(crossing, coarse)
+
+    def test_attribute_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            is_refinement(Partition.whole(("a",)), Partition.whole(("b",)))

@@ -1,0 +1,85 @@
+"""Unit and property tests for set-partition enumeration."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.baselines import (
+    all_partitions,
+    bell_number,
+    partitions_with_block_count,
+    restricted_growth_strings,
+    stirling2,
+)
+
+
+class TestBellNumbers:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(0, 1), (1, 1), (2, 2), (3, 5), (4, 15), (5, 52), (6, 203), (10, 115975)],
+    )
+    def test_known_values(self, n, expected):
+        assert bell_number(n) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bell_number(-1)
+
+
+class TestStirling:
+    @pytest.mark.parametrize(
+        "n,k,expected",
+        [(4, 2, 7), (5, 3, 25), (6, 1, 1), (6, 6, 1), (6, 7, 0), (0, 0, 1)],
+    )
+    def test_known_values(self, n, k, expected):
+        assert stirling2(n, k) == expected
+
+    @given(st.integers(1, 8))
+    def test_stirling_sums_to_bell(self, n):
+        assert sum(stirling2(n, k) for k in range(n + 1)) == bell_number(n)
+
+
+class TestRestrictedGrowthStrings:
+    @given(st.integers(0, 8))
+    def test_count_is_bell_number(self, n):
+        assert sum(1 for _ in restricted_growth_strings(n)) == bell_number(n)
+
+    @given(st.integers(1, 7))
+    def test_strings_are_valid_rgs(self, n):
+        for string in restricted_growth_strings(n):
+            assert string[0] == 0
+            prefix_max = 0
+            for value in string[1:]:
+                assert value <= prefix_max + 1
+                prefix_max = max(prefix_max, value)
+
+    @given(st.integers(1, 7))
+    def test_strings_are_unique(self, n):
+        strings = list(restricted_growth_strings(n))
+        assert len(set(strings)) == len(strings)
+
+    def test_first_and_last(self):
+        strings = list(restricted_growth_strings(4))
+        assert strings[0] == (0, 0, 0, 0)
+        assert strings[-1] == (0, 1, 2, 3)
+
+
+class TestAllPartitions:
+    def test_six_attributes_gives_203(self):
+        attrs = [f"a{i}" for i in range(6)]
+        assert sum(1 for _ in all_partitions(attrs)) == 203
+
+    def test_partitions_are_distinct(self):
+        attrs = ["a", "b", "c", "d"]
+        partitions = list(all_partitions(attrs))
+        assert len(set(partitions)) == bell_number(4)
+
+    def test_every_partition_covers_all_attributes(self):
+        attrs = ("a", "b", "c", "d")
+        for partition in all_partitions(attrs):
+            assert partition.attributes == attrs
+
+    def test_block_count_filter(self):
+        attrs = ["a", "b", "c", "d"]
+        two_block = list(partitions_with_block_count(attrs, 2))
+        assert len(two_block) == stirling2(4, 2)
+        assert all(p.n_blocks == 2 for p in two_block)

@@ -1,0 +1,83 @@
+"""Unit and property tests for source-ranking metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.algorithms import Accu
+from repro.datasets import make_synthetic
+from repro.metrics import kendall_tau, top_k_precision, trust_ranking_quality
+
+
+class TestKendallTau:
+    def test_identical_order(self):
+        assert kendall_tau([1, 2, 3], [10, 20, 30]) == 1.0
+
+    def test_reversed_order(self):
+        assert kendall_tau([1, 2, 3], [30, 20, 10]) == -1.0
+
+    def test_partial_agreement(self):
+        # Pairs: (1,2) concordant, (1,3) concordant, (2,3) discordant.
+        assert kendall_tau([1, 2, 3], [1, 3, 2]) == pytest.approx(1 / 3)
+
+    def test_ties_are_neutral(self):
+        assert kendall_tau([1, 1], [1, 2]) == 0.0
+
+    def test_short_sequences(self):
+        assert kendall_tau([], []) == 0.0
+        assert kendall_tau([1], [1]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            kendall_tau([1], [1, 2])
+
+    @given(st.lists(st.floats(-10, 10), min_size=2, max_size=12))
+    def test_self_correlation_nonnegative(self, scores):
+        assert kendall_tau(scores, scores) >= 0.0
+
+    @given(
+        st.lists(st.floats(-10, 10), min_size=2, max_size=10),
+        st.lists(st.floats(-10, 10), min_size=2, max_size=10),
+    )
+    def test_bounded_and_antisymmetric(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        tau = kendall_tau(a, b)
+        assert -1.0 <= tau <= 1.0
+        assert kendall_tau(b, a) == pytest.approx(tau)
+
+
+class TestTrustRanking:
+    @pytest.fixture(scope="class")
+    def run(self):
+        generated = make_synthetic("DS3", n_objects=60, seed=2)
+        dataset = generated.dataset
+        result = Accu().discover(dataset)
+        return dataset, result
+
+    def test_accu_ranks_sources_positively(self, run):
+        dataset, result = run
+        tau = trust_ranking_quality(dataset, result.source_trust)
+        assert tau > 0.0
+
+    def test_top_k_precision_bounds(self, run):
+        dataset, result = run
+        for k in (1, 3, 5):
+            precision = top_k_precision(dataset, result.source_trust, k)
+            assert 0.0 <= precision <= 1.0
+
+    def test_top_k_validation(self, run):
+        dataset, result = run
+        with pytest.raises(ValueError):
+            top_k_precision(dataset, result.source_trust, 0)
+        with pytest.raises(ValueError):
+            top_k_precision(dataset, result.source_trust, 999)
+
+    def test_perfect_oracle_ranking(self, run):
+        dataset, _ = run
+        from repro.metrics import source_accuracy
+
+        oracle_trust = dict(source_accuracy(dataset))
+        assert trust_ranking_quality(dataset, oracle_trust) == pytest.approx(
+            1.0
+        )
+        assert top_k_precision(dataset, oracle_trust, 3) == 1.0

@@ -1,0 +1,51 @@
+"""Unit tests for the Stocks and Flights simulators (Table 8 targets)."""
+
+import pytest
+
+from repro.data import dataset_stats
+from repro.datasets import (
+    flights_planted_partition,
+    make_flights,
+    make_stocks,
+    stocks_planted_partition,
+)
+
+
+class TestStocks:
+    def test_table8_row(self):
+        stats = dataset_stats(make_stocks().dataset)
+        assert stats.n_sources == 55
+        assert stats.n_objects == 100
+        assert stats.n_attributes == 15
+        assert stats.n_observations == pytest.approx(56_992, rel=0.03)
+        assert stats.coverage_rate == pytest.approx(75, abs=3)
+
+    def test_planted_partition_covers_attributes(self):
+        partition = stocks_planted_partition()
+        ds = make_stocks(n_objects=5).dataset
+        assert partition.attributes == tuple(sorted(ds.attributes))
+        assert partition.n_blocks == 3
+
+    def test_deterministic(self):
+        a = make_stocks(n_objects=10, seed=2).dataset
+        b = make_stocks(n_objects=10, seed=2).dataset
+        assert list(a.iter_claims()) == list(b.iter_claims())
+
+
+class TestFlights:
+    def test_table8_row(self):
+        stats = dataset_stats(make_flights().dataset)
+        assert stats.n_sources == 38
+        assert stats.n_objects == 100
+        assert stats.n_attributes == 6
+        assert stats.n_observations == pytest.approx(8_644, rel=0.05)
+        assert stats.coverage_rate == pytest.approx(66, abs=3)
+
+    def test_planted_partition(self):
+        partition = flights_planted_partition()
+        assert partition.n_blocks == 3
+        assert len(partition.attributes) == 6
+
+    def test_scalable(self):
+        ds = make_flights(n_objects=20).dataset
+        assert len(ds.objects) == 20

@@ -1,0 +1,38 @@
+"""Unit tests for the artefact report assembler."""
+
+import pytest
+
+from repro.evaluation.report import build_report, collect_artifacts, write_report
+
+
+@pytest.fixture
+def artifact_dir(tmp_path):
+    (tmp_path / "table4_ds1.txt").write_text("TABLE 4 CONTENT\n")
+    (tmp_path / "figure1_accuracy.txt").write_text("FIGURE 1 CONTENT\n")
+    (tmp_path / "custom_thing.txt").write_text("CUSTOM CONTENT\n")
+    return tmp_path
+
+
+def test_collect_reads_all(artifact_dir):
+    artifacts = collect_artifacts(artifact_dir)
+    assert set(artifacts) == {"table4_ds1", "figure1_accuracy", "custom_thing"}
+
+
+def test_collect_missing_dir(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        collect_artifacts(tmp_path / "nope")
+
+
+def test_build_report_orders_sections(artifact_dir):
+    report = build_report(artifact_dir)
+    assert report.index("Tables 4a") < report.index("Figure 1")
+    assert "TABLE 4 CONTENT" in report
+    assert "CUSTOM CONTENT" in report
+    assert "## Other artefacts" in report
+
+
+def test_write_report(artifact_dir, tmp_path):
+    destination = tmp_path / "report.md"
+    path = write_report(artifact_dir, destination, title="Demo")
+    assert path == destination
+    assert destination.read_text().startswith("# Demo")

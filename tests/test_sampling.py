@@ -1,0 +1,72 @@
+"""Unit tests for dataset subsampling utilities."""
+
+import pytest
+
+from repro.data import data_coverage_rate, sample_objects, sample_sources, thin_coverage
+from repro.datasets import make_synthetic
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_synthetic("DS1", n_objects=40, seed=4).dataset
+
+
+class TestThinCoverage:
+    def test_reduces_claims(self, dataset):
+        thinned = thin_coverage(dataset, 0.5, seed=0)
+        assert thinned.n_claims < dataset.n_claims
+        assert thinned.n_claims >= int(0.35 * dataset.n_claims)
+
+    def test_facts_preserved(self, dataset):
+        thinned = thin_coverage(dataset, 0.1, seed=0)
+        assert set(thinned.facts) == set(dataset.facts)
+
+    def test_coverage_rate_drops(self, dataset):
+        thinned = thin_coverage(dataset, 0.4, seed=0)
+        assert data_coverage_rate(thinned) < data_coverage_rate(dataset)
+
+    def test_keep_all_is_identity_sized(self, dataset):
+        same = thin_coverage(dataset, 1.0, seed=0)
+        assert same.n_claims == dataset.n_claims
+
+    def test_truth_carried(self, dataset):
+        thinned = thin_coverage(dataset, 0.5, seed=0)
+        assert thinned.truth == dataset.truth
+
+    def test_fraction_validated(self, dataset):
+        with pytest.raises(ValueError):
+            thin_coverage(dataset, 0.0)
+        with pytest.raises(ValueError):
+            thin_coverage(dataset, 1.5)
+
+    def test_deterministic(self, dataset):
+        a = thin_coverage(dataset, 0.5, seed=7)
+        b = thin_coverage(dataset, 0.5, seed=7)
+        assert list(a.iter_claims()) == list(b.iter_claims())
+
+
+class TestSampleObjects:
+    def test_restricts_objects(self, dataset):
+        sampled = sample_objects(dataset, 10, seed=0)
+        assert len(sampled.objects) == 10
+        assert all(c.object in set(sampled.objects) for c in sampled.iter_claims())
+
+    def test_oversized_request_is_identity(self, dataset):
+        assert sample_objects(dataset, 10_000) is dataset
+
+    def test_validated(self, dataset):
+        with pytest.raises(ValueError):
+            sample_objects(dataset, 0)
+
+
+class TestSampleSources:
+    def test_restricts_sources(self, dataset):
+        sampled = sample_sources(dataset, 4, seed=0)
+        assert len(sampled.sources) == 4
+
+    def test_oversized_request_is_identity(self, dataset):
+        assert sample_sources(dataset, 10_000) is dataset
+
+    def test_validated(self, dataset):
+        with pytest.raises(ValueError):
+            sample_sources(dataset, 0)

@@ -1,0 +1,93 @@
+"""Unit and property tests for the silhouette index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clustering import (
+    pairwise_euclidean,
+    silhouette_samples,
+    silhouette_score,
+)
+
+
+def two_cluster_distances():
+    """Four points: two tight pairs far apart."""
+    points = np.array([[0.0], [0.1], [10.0], [10.1]])
+    return pairwise_euclidean(points), np.array([0, 0, 1, 1])
+
+
+class TestSamples:
+    def test_hand_computed_example(self):
+        distances, labels = two_cluster_distances()
+        samples = silhouette_samples(distances, labels)
+        # Point 0: alpha = 0.1, beta = (10 + 10.1)/2 = 10.05.
+        assert samples[0] == pytest.approx((10.05 - 0.1) / 10.05)
+
+    def test_perfect_clustering_near_one(self):
+        distances, labels = two_cluster_distances()
+        assert silhouette_samples(distances, labels).min() > 0.95
+
+    def test_bad_clustering_negative(self):
+        distances, _ = two_cluster_distances()
+        bad_labels = np.array([0, 1, 0, 1])  # splits the tight pairs
+        samples = silhouette_samples(distances, bad_labels)
+        assert samples.max() < 0.0
+
+    def test_singleton_cluster_is_zero(self):
+        distances, _ = two_cluster_distances()
+        labels = np.array([0, 1, 1, 1])
+        samples = silhouette_samples(distances, labels)
+        assert samples[0] == 0.0
+
+    def test_requires_two_clusters(self):
+        distances, _ = two_cluster_distances()
+        with pytest.raises(ValueError, match="at least 2"):
+            silhouette_samples(distances, np.zeros(4, dtype=int))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            silhouette_samples(np.zeros((3, 3)), np.array([0, 1]))
+
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_samples_in_unit_interval(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.random((10, 3))
+        labels = rng.integers(0, 3, size=10)
+        if len(np.unique(labels)) < 2:
+            labels[0] = (labels[0] + 1) % 3
+        samples = silhouette_samples(pairwise_euclidean(points), labels)
+        assert (samples >= -1.0 - 1e-9).all()
+        assert (samples <= 1.0 + 1e-9).all()
+
+
+class TestScore:
+    def test_micro_is_mean_of_samples(self):
+        distances, labels = two_cluster_distances()
+        samples = silhouette_samples(distances, labels)
+        assert silhouette_score(distances, labels, average="micro") == (
+            pytest.approx(samples.mean())
+        )
+
+    def test_macro_weights_clusters_equally(self):
+        # Cluster 0 has 3 points, cluster 1 has 1 point (silhouette 0).
+        points = np.array([[0.0], [0.1], [0.2], [50.0]])
+        distances = pairwise_euclidean(points)
+        labels = np.array([0, 0, 0, 1])
+        macro = silhouette_score(distances, labels, average="macro")
+        samples = silhouette_samples(distances, labels)
+        expected = (samples[:3].mean() + samples[3]) / 2
+        assert macro == pytest.approx(expected)
+
+    def test_unknown_average_rejected(self):
+        distances, labels = two_cluster_distances()
+        with pytest.raises(ValueError, match="average"):
+            silhouette_score(distances, labels, average="nope")
+
+    def test_better_clustering_scores_higher(self):
+        distances, good = two_cluster_distances()
+        bad = np.array([0, 1, 0, 1])
+        assert silhouette_score(distances, good) > silhouette_score(
+            distances, bad
+        )

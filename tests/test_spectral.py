@@ -1,0 +1,63 @@
+"""Unit tests for spectral clustering."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import Spectral, pairwise_euclidean
+
+
+def blob_distances():
+    points = np.array(
+        [[0.0], [0.2], [0.4], [10.0], [10.2], [10.4]], dtype=float
+    )
+    return pairwise_euclidean(points)
+
+
+class TestSpectral:
+    def test_recovers_separated_groups(self):
+        result = Spectral(n_clusters=2, seed=0).fit_distances(blob_distances())
+        labels = result.labels
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_embedding_shape(self):
+        result = Spectral(n_clusters=2, seed=0).fit_distances(blob_distances())
+        assert result.embedding.shape == (6, 2)
+
+    def test_clusters_listing(self):
+        result = Spectral(n_clusters=2, seed=0).fit_distances(blob_distances())
+        members = sorted(i for g in result.clusters() for i in g)
+        assert members == list(range(6))
+
+    def test_non_convex_rings_need_spectral(self):
+        # Two concentric rings: k-means on raw coordinates mixes them,
+        # spectral with a tight bandwidth separates them.
+        angles = np.linspace(0, 2 * np.pi, 60, endpoint=False)
+        inner = np.stack([np.cos(angles), np.sin(angles)], axis=1)
+        outer = 6.0 * np.stack([np.cos(angles), np.sin(angles)], axis=1)
+        points = np.vstack([inner, outer])
+        distances = pairwise_euclidean(points)
+        result = Spectral(n_clusters=2, bandwidth=0.2, seed=0).fit_distances(
+            distances
+        )
+        inner_labels = set(result.labels[:60].tolist())
+        outer_labels = set(result.labels[60:].tolist())
+        assert len(inner_labels) == 1
+        assert len(outer_labels) == 1
+        assert inner_labels != outer_labels
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Spectral(n_clusters=0)
+        with pytest.raises(ValueError):
+            Spectral(n_clusters=2, bandwidth=0.0)
+        with pytest.raises(ValueError, match="square"):
+            Spectral(n_clusters=2).fit_distances(np.zeros((2, 3)))
+        with pytest.raises(ValueError, match="cannot form"):
+            Spectral(n_clusters=9).fit_distances(blob_distances())
+
+    def test_deterministic(self):
+        first = Spectral(n_clusters=2, seed=1).fit_distances(blob_distances())
+        second = Spectral(n_clusters=2, seed=1).fit_distances(blob_distances())
+        assert (first.labels == second.labels).all()

@@ -1,0 +1,55 @@
+"""Unit tests for dataset statistics and the Data Coverage Rate."""
+
+import pytest
+
+from repro.data import DatasetBuilder, data_coverage_rate, dataset_stats
+
+
+def test_full_coverage_is_100():
+    builder = DatasetBuilder()
+    for s in ("s1", "s2"):
+        for o in ("o1", "o2"):
+            for a in ("a1", "a2"):
+                builder.add_claim(s, o, a, 1)
+    assert data_coverage_rate(builder.build()) == pytest.approx(100.0)
+
+
+def test_half_coverage():
+    builder = DatasetBuilder()
+    # Two sources touch o1; each covers one of its two attributes.
+    builder.add_claim("s1", "o1", "a1", 1)
+    builder.add_claim("s2", "o1", "a2", 1)
+    # |S_o| * |A_o| = 4 cells, 2 filled.
+    assert data_coverage_rate(builder.build()) == pytest.approx(50.0)
+
+
+def test_sources_not_touching_object_do_not_count():
+    builder = DatasetBuilder()
+    builder.add_claim("s1", "o1", "a1", 1)
+    builder.add_claim("s1", "o1", "a2", 1)
+    # s2 exists but never claims anything about o1.
+    builder.add_claim("s2", "o2", "a1", 1)
+    # o1: 1 source x 2 attrs, both filled; o2: 1 source x 1 attr filled.
+    assert data_coverage_rate(builder.build()) == pytest.approx(100.0)
+
+
+def test_attributes_unclaimed_for_object_do_not_count():
+    builder = DatasetBuilder()
+    builder.declare_attributes(["a1", "a2", "a3"])
+    builder.add_claim("s1", "o1", "a1", 1)
+    builder.add_claim("s2", "o1", "a1", 2)
+    # a2/a3 receive no claims for o1, so A_o = {a1} only.
+    assert data_coverage_rate(builder.build()) == pytest.approx(100.0)
+
+
+def test_stats_row(tiny_dataset):
+    stats = dataset_stats(tiny_dataset)
+    assert stats.name == "tiny"
+    assert stats.n_sources == 3
+    assert stats.n_objects == 2
+    assert stats.n_attributes == 2
+    assert stats.n_observations == 12
+    assert stats.coverage_rate == pytest.approx(100.0)
+    row = stats.as_row()
+    assert row[0] == "tiny"
+    assert row[-1] == 100

@@ -1,0 +1,71 @@
+"""Unit tests for Sums and AverageLog."""
+
+import pytest
+
+from repro.algorithms import AverageLog, Sums
+from repro.data import DatasetBuilder, Fact
+
+
+def corroboration_dataset():
+    """Two well-corroborated sources versus one lone dissenter."""
+    builder = DatasetBuilder()
+    for i in range(8):
+        builder.add_claim("good1", f"o{i}", "a", "agreed")
+        builder.add_claim("good2", f"o{i}", "a", "agreed")
+        builder.add_claim("lone", f"o{i}", "a", f"solo{i}")
+    builder.add_claim("good1", "tie", "a", "g")
+    builder.add_claim("lone", "tie", "a", "l")
+    return builder.build()
+
+
+class TestSums:
+    def test_corroborated_sources_gain_trust(self):
+        result = Sums().discover(corroboration_dataset())
+        assert result.source_trust["good1"] > result.source_trust["lone"]
+
+    def test_trusted_source_breaks_tie(self):
+        result = Sums().discover(corroboration_dataset())
+        assert result.predictions[Fact("tie", "a")] == "g"
+
+    def test_trust_normalised_to_max_one(self):
+        result = Sums().discover(corroboration_dataset())
+        assert max(result.source_trust.values()) == pytest.approx(1.0)
+
+    def test_converges(self):
+        result = Sums().discover(corroboration_dataset())
+        assert result.iterations < Sums().max_iterations
+
+    def test_rejects_bad_max_iterations(self):
+        with pytest.raises(ValueError):
+            Sums(max_iterations=0)
+
+
+class TestAverageLog:
+    def test_corroborated_sources_gain_trust(self):
+        result = AverageLog().discover(corroboration_dataset())
+        assert result.source_trust["good1"] > result.source_trust["lone"]
+
+    def test_volume_advantage_smaller_than_under_sums(self):
+        # AverageLog dampens volume: a prolific loner's edge over a
+        # corroborated source shrinks compared to plain Sums (log versus
+        # linear growth in claim count).
+        builder = DatasetBuilder()
+        for i in range(4):
+            builder.add_claim("good1", f"o{i}", "a", "agreed")
+            builder.add_claim("good2", f"o{i}", "a", "agreed")
+        for i in range(40):
+            builder.add_claim("prolific", f"p{i}", "a", f"solo{i}")
+        ds = builder.build()
+        sums = Sums().discover(ds)
+        avglog = AverageLog().discover(ds)
+        ratio_sums = sums.source_trust["prolific"] / max(
+            sums.source_trust["good1"], 1e-9
+        )
+        ratio_avglog = avglog.source_trust["prolific"] / max(
+            avglog.source_trust["good1"], 1e-9
+        )
+        assert ratio_avglog < ratio_sums
+
+    def test_rejects_bad_max_iterations(self):
+        with pytest.raises(ValueError):
+            AverageLog(max_iterations=0)

@@ -1,0 +1,87 @@
+"""Unit tests for the DS1/DS2/DS3 synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.core import Partition
+from repro.datasets import (
+    PLANTED_PARTITIONS,
+    TABLE3_LEVELS,
+    make_synthetic,
+    planted_partition,
+)
+from repro.metrics import source_accuracy
+
+
+class TestConfigurations:
+    def test_table3_levels(self):
+        assert TABLE3_LEVELS["DS1"] == (1.0, 0.0, 1.0)
+        assert TABLE3_LEVELS["DS2"] == (1.0, 0.0, 0.8)
+        assert TABLE3_LEVELS["DS3"] == (1.0, 0.2, 0.8)
+
+    def test_planted_partitions_match_table5(self):
+        assert planted_partition("DS1") == Partition.from_blocks(
+            [("a1", "a2"), ("a4", "a6"), ("a3",), ("a5",)]
+        )
+        assert planted_partition("DS2") == Partition.from_blocks(
+            [("a2", "a5"), ("a1", "a4"), ("a3", "a6")]
+        )
+        assert planted_partition("DS3") == Partition.from_blocks(
+            [("a1", "a3", "a6"), ("a2", "a4", "a5")]
+        )
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_synthetic("DS9")
+        with pytest.raises(ValueError):
+            planted_partition("DS9")
+
+
+class TestPaperScale:
+    def test_paper_sizes(self):
+        ds = make_synthetic("DS1", n_objects=50).dataset
+        assert len(ds.sources) == 10
+        assert len(ds.attributes) == 6
+        # Full coverage: objects x sources x attributes observations.
+        assert ds.n_claims == 50 * 10 * 6
+
+    @pytest.mark.parametrize("name", ["DS1", "DS2", "DS3"])
+    def test_structural_correlation_within_groups(self, name):
+        """Every source has (statistically) the same accuracy on all
+        attributes of a planted group — the paper's working hypothesis."""
+        generated = make_synthetic(name, n_objects=250, seed=1)
+        ds = generated.dataset
+        for group in generated.planted_groups:
+            per_attribute = [
+                source_accuracy(ds.restrict_attributes([a])) for a in group
+            ]
+            for source in ds.sources:
+                rates = [acc[source] for acc in per_attribute]
+                assert max(rates) - min(rates) < 0.15
+
+    def test_ds1_singleton_groups_share_profile(self):
+        """(a3) and (a5) are planted with identical class profiles, which
+        is why the paper's TD-AC merges them (Table 5)."""
+        generated = make_synthetic("DS1", n_objects=250, seed=1)
+        ds = generated.dataset
+        a3 = source_accuracy(ds.restrict_attributes(["a3"]))
+        a5 = source_accuracy(ds.restrict_attributes(["a5"]))
+        for source in ds.sources:
+            assert abs(a3[source] - a5[source]) < 0.15
+
+    def test_distinct_groups_have_distinct_profiles(self):
+        generated = make_synthetic("DS2", n_objects=250, seed=1)
+        ds = generated.dataset
+        group_profiles = []
+        for group in generated.planted_groups:
+            acc = source_accuracy(ds.restrict_attributes(list(group)))
+            group_profiles.append(np.array([acc[s] for s in ds.sources]))
+        for i in range(len(group_profiles)):
+            for j in range(i + 1, len(group_profiles)):
+                diff = np.abs(group_profiles[i] - group_profiles[j]).max()
+                assert diff > 0.3
+
+    def test_observation_count_matches_paper_at_full_scale(self):
+        # The paper reports 60,000 observations (1000 objects).
+        ds = make_synthetic("DS2", n_objects=1000).dataset
+        assert ds.n_claims == 60_000

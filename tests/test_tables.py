@@ -1,0 +1,45 @@
+"""Unit tests for ASCII table rendering."""
+
+import pytest
+
+from repro.algorithms import MajorityVote
+from repro.evaluation import (
+    PERFORMANCE_HEADER,
+    format_table,
+    performance_table,
+    run_algorithm,
+)
+
+
+class TestFormatTable:
+    def test_header_and_rule_present(self):
+        text = format_table(["A", "B"], [[1, 2], [3, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("A")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_title_prepended(self):
+        text = format_table(["A"], [[1]], title="Table 42")
+        assert text.splitlines()[0] == "Table 42"
+
+    def test_floats_formatted(self):
+        text = format_table(["x"], [[0.123456]])
+        assert "0.123" in text
+
+    def test_column_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["A", "B"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["A", "B"], [])
+        assert "A" in text
+
+
+class TestPerformanceTable:
+    def test_renders_records(self, tiny_dataset):
+        record = run_algorithm(MajorityVote(), tiny_dataset)
+        text = performance_table([record], title="demo")
+        assert "MajorityVote" in text
+        for column in PERFORMANCE_HEADER:
+            assert column in text

@@ -1,0 +1,60 @@
+"""Unit tests for the timing utilities."""
+
+import time
+
+import pytest
+
+from repro.metrics import Stopwatch, Timer
+
+
+class TestTimer:
+    def test_measures_elapsed_time(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+
+    def test_reusable(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.elapsed
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= first
+
+
+class TestStopwatch:
+    def test_accumulates_phases(self):
+        watch = Stopwatch()
+        with watch.measure("clustering"):
+            time.sleep(0.005)
+        with watch.measure("clustering"):
+            time.sleep(0.005)
+        with watch.measure("discovery"):
+            pass
+        assert watch.phases["clustering"] >= 0.009
+        assert set(watch.phases) == {"clustering", "discovery"}
+        assert watch.total == pytest.approx(
+            sum(watch.phases.values()), rel=1e-9
+        )
+
+    def test_manual_add(self):
+        watch = Stopwatch()
+        watch.add("io", 1.5)
+        watch.add("io", 0.5)
+        assert watch.phases["io"] == pytest.approx(2.0)
+
+    def test_negative_add_rejected(self):
+        with pytest.raises(ValueError):
+            Stopwatch().add("io", -1.0)
+
+    def test_breakdown_fractions(self):
+        watch = Stopwatch()
+        watch.add("a", 3.0)
+        watch.add("b", 1.0)
+        breakdown = watch.breakdown()
+        assert breakdown["a"] == pytest.approx(0.75)
+        assert breakdown["b"] == pytest.approx(0.25)
+
+    def test_empty_breakdown(self):
+        assert Stopwatch().breakdown() == {}

@@ -1,0 +1,104 @@
+"""Unit tests for attribute truth vectors (paper Eq. 1 and Table 2)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import MajorityVote, TruthDiscoveryResult
+from repro.core import build_truth_vectors
+from repro.data import DatasetBuilder, Fact
+
+
+def oracle_result(dataset):
+    """A reference result that predicts the exact ground truth."""
+    predictions = {
+        fact: dataset.true_value(fact) for fact in dataset.facts
+    }
+    return TruthDiscoveryResult(
+        algorithm="oracle",
+        predictions=predictions,
+        confidence={fact: 1.0 for fact in dataset.facts},
+        source_trust={s: 1.0 for s in dataset.sources},
+        iterations=1,
+        elapsed_seconds=0.0,
+    )
+
+
+class TestTable2:
+    """Reproduce the matrix of Table 2 for the Table 1 running example.
+
+    With the correct answers as reference truth, the matrix rows (Q1,
+    Q2, Q3) over ranks (FB, CS) x (Source 1..3) match the paper's
+    Table 2 published for TruthFinder as base algorithm.
+    """
+
+    def test_matrix_matches_paper(self, running_example):
+        vectors = build_truth_vectors(
+            running_example, oracle_result(running_example)
+        )
+        # Ranks are object-major: FB x (S1, S2, S3) then CS x (S1, S2, S3).
+        # Table 2 columns are source-major; translate accordingly.
+        def entry(question, obj, source_idx):
+            row = vectors.vector(question)
+            objects = running_example.objects
+            sources = running_example.sources
+            col = objects.index(obj) * len(sources) + source_idx
+            return int(row[col])
+
+        # Source 1: FB: Q1 right, Q2 wrong, Q3 wrong(12 vs 11)... Table 1
+        # says S1 FB = (Algeria, 2000, 12): Q1 correct only.
+        assert entry("Q1", "FB", 0) == 1
+        assert entry("Q2", "FB", 0) == 0
+        assert entry("Q3", "FB", 0) == 0
+        # Source 2 FB = (Senegal, 2019, 11): Q2, Q3 correct.
+        assert entry("Q1", "FB", 1) == 0
+        assert entry("Q2", "FB", 1) == 1
+        assert entry("Q3", "FB", 1) == 1
+        # Source 1 CS = (Linus Torvalds, 1830, 7): Q1, Q3 correct.
+        assert entry("Q1", "CS", 0) == 1
+        assert entry("Q2", "CS", 0) == 0
+        assert entry("Q3", "CS", 0) == 1
+        # Source 3 CS = (Steve Jobs, 1991, 10): Q2 correct only.
+        assert entry("Q1", "CS", 2) == 0
+        assert entry("Q2", "CS", 2) == 1
+        assert entry("Q3", "CS", 2) == 0
+
+
+class TestBuildTruthVectors:
+    def test_shape(self, running_example):
+        vectors = build_truth_vectors(running_example, MajorityVote())
+        n_ranks = len(running_example.objects) * len(running_example.sources)
+        assert vectors.matrix.shape == (3, n_ranks)
+        assert vectors.mask.shape == vectors.matrix.shape
+        assert vectors.n_attributes == 3
+
+    def test_accepts_algorithm_or_result(self, running_example):
+        from_algorithm = build_truth_vectors(running_example, MajorityVote())
+        reference = MajorityVote().discover(running_example)
+        from_result = build_truth_vectors(running_example, reference)
+        assert (from_algorithm.matrix == from_result.matrix).all()
+
+    def test_mask_marks_covered_ranks(self):
+        builder = DatasetBuilder()
+        builder.add_claim("s1", "o1", "a1", 1)
+        builder.add_claim("s2", "o1", "a1", 2)
+        builder.add_claim("s1", "o2", "a1", 3)  # s2 misses o2
+        vectors = build_truth_vectors(builder.build(), MajorityVote())
+        # Ranks: (o1, s1), (o1, s2), (o2, s1), (o2, s2).
+        assert vectors.mask.tolist() == [[True, True, True, False]]
+
+    def test_matrix_zero_where_unobserved(self, running_example):
+        vectors = build_truth_vectors(running_example, MajorityVote())
+        assert not vectors.matrix[~vectors.mask].any()
+
+    def test_density(self, running_example):
+        vectors = build_truth_vectors(running_example, MajorityVote())
+        assert vectors.density() == pytest.approx(1.0)
+
+    def test_vector_lookup_unknown_attribute(self, running_example):
+        vectors = build_truth_vectors(running_example, MajorityVote())
+        with pytest.raises(KeyError):
+            vectors.vector("nope")
+
+    def test_binary_entries_only(self, running_example):
+        vectors = build_truth_vectors(running_example, MajorityVote())
+        assert set(np.unique(vectors.matrix)) <= {0, 1}

@@ -1,0 +1,78 @@
+"""Unit tests for TruthFinder."""
+
+import pytest
+
+from repro.algorithms import TruthFinder
+from repro.data import DatasetBuilder, Fact
+
+
+def reliability_dataset():
+    """s1/s2 agree (and are right) on many facts; s3 disagrees alone."""
+    builder = DatasetBuilder()
+    for i in range(10):
+        builder.add_claim("s1", f"o{i}", "a", "true")
+        builder.add_claim("s2", f"o{i}", "a", "true")
+        builder.add_claim("s3", f"o{i}", "a", f"bogus{i}")
+        builder.set_truth(f"o{i}", "a", "true")
+    # One contested fact where only trust decides (1 vs 1).
+    builder.add_claim("s1", "contested", "a", "right")
+    builder.add_claim("s3", "contested", "a", "wrong")
+    return builder.build()
+
+
+class TestTruthFinder:
+    def test_trust_separates_good_from_bad(self):
+        result = TruthFinder().discover(reliability_dataset())
+        assert result.source_trust["s1"] > result.source_trust["s3"]
+
+    def test_trusted_source_wins_contested_fact(self):
+        result = TruthFinder().discover(reliability_dataset())
+        assert result.predictions[Fact("contested", "a")] == "right"
+
+    def test_iterates_more_than_once(self):
+        result = TruthFinder(tolerance=1e-8).discover(reliability_dataset())
+        assert result.iterations > 1
+
+    def test_max_iterations_respected(self):
+        result = TruthFinder(tolerance=0.0, max_iterations=3).discover(
+            reliability_dataset()
+        )
+        assert result.iterations == 3
+
+    def test_confidence_in_unit_interval(self):
+        result = TruthFinder().discover(reliability_dataset())
+        for value in result.confidence.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_no_implication_variant(self):
+        result = TruthFinder(influence=0.0).discover(reliability_dataset())
+        assert result.predictions[Fact("contested", "a")] == "right"
+
+    def test_similar_values_support_each_other(self):
+        # Two near-identical singletons reinforce each other through the
+        # implication term and beat an unsupported outlier.
+        builder = DatasetBuilder()
+        builder.add_claim("s1", "o", "price", 100.0)
+        builder.add_claim("s2", "o", "price", 100.1)
+        builder.add_claim("s3", "o", "price", 500.0)
+        ds = builder.build()
+        with_implication = TruthFinder(influence=0.8).discover(ds)
+        predicted = with_implication.predictions[Fact("o", "price")]
+        assert predicted != 500.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TruthFinder(initial_trust=1.5)
+        with pytest.raises(ValueError):
+            TruthFinder(max_iterations=0)
+
+    def test_many_sources_do_not_saturate_winner(self):
+        # 60 sources vote "big", 40 vote "alt": the logistic saturates to
+        # 1.0 for both, but the winner must still be the heavier value.
+        builder = DatasetBuilder()
+        for i in range(60):
+            builder.add_claim(f"yes{i}", "o", "a", "big")
+        for i in range(40):
+            builder.add_claim(f"no{i}", "o", "a", "alt")
+        result = TruthFinder().discover(builder.build())
+        assert result.predictions[Fact("o", "a")] == "big"

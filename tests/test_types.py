@@ -1,0 +1,45 @@
+"""Unit tests for the fundamental value types."""
+
+import pytest
+
+from repro.data import Claim, DataError, Fact, GroundTruthError
+
+
+class TestFact:
+    def test_equality_is_by_value(self):
+        assert Fact("o1", "a1") == Fact("o1", "a1")
+        assert Fact("o1", "a1") != Fact("o1", "a2")
+
+    def test_is_hashable(self):
+        facts = {Fact("o1", "a1"), Fact("o1", "a1"), Fact("o2", "a1")}
+        assert len(facts) == 2
+
+    def test_str(self):
+        assert str(Fact("o1", "price")) == "o1.price"
+
+    def test_is_immutable(self):
+        with pytest.raises(AttributeError):
+            Fact("o1", "a1").object = "o2"
+
+
+class TestClaim:
+    def test_fact_property(self):
+        claim = Claim("s1", "o1", "a1", 42)
+        assert claim.fact == Fact("o1", "a1")
+
+    def test_equality(self):
+        assert Claim("s1", "o1", "a1", 42) == Claim("s1", "o1", "a1", 42)
+        assert Claim("s1", "o1", "a1", 42) != Claim("s1", "o1", "a1", 43)
+
+    def test_str_mentions_all_parts(self):
+        text = str(Claim("s1", "o1", "a1", 42))
+        for part in ("s1", "o1", "a1", "42"):
+            assert part in text
+
+
+class TestErrors:
+    def test_ground_truth_error_is_data_error(self):
+        assert issubclass(GroundTruthError, DataError)
+
+    def test_data_error_is_value_error(self):
+        assert issubclass(DataError, ValueError)

@@ -1,0 +1,66 @@
+"""Unit tests for dataset integrity checks."""
+
+import pytest
+
+from repro.data import (
+    DataError,
+    Dataset,
+    DatasetBuilder,
+    check_dataset,
+    validate_dataset,
+)
+
+
+def test_clean_dataset_has_no_findings(tiny_dataset):
+    findings = validate_dataset(tiny_dataset)
+    # tiny has no claims for some (o, a, s) combos but all facts have >= 2.
+    assert all(f.severity == "warning" or False for f in findings) or not findings
+
+
+def test_idle_source_warning():
+    ds = Dataset(["s1", "s2"], ["o1"], ["a1"], {("s1", "o1", "a1"): 1})
+    findings = validate_dataset(ds)
+    assert any("provide no claims" in f.message for f in findings)
+
+
+def test_dark_attribute_is_error():
+    ds = Dataset(["s1"], ["o1"], ["a1", "a2"], {("s1", "o1", "a1"): 1})
+    findings = validate_dataset(ds)
+    errors = [f for f in findings if f.severity == "error"]
+    assert any("receive no claims" in f.message for f in errors)
+    with pytest.raises(DataError):
+        check_dataset(ds)
+
+
+def test_single_claim_facts_warn():
+    ds = DatasetBuilder().add_claim("s1", "o1", "a1", 1).build()
+    findings = validate_dataset(ds)
+    assert any("single claim" in f.message for f in findings)
+
+
+def test_unreachable_truth_warns():
+    builder = DatasetBuilder()
+    builder.add_claim("s1", "o1", "a1", "claimed")
+    builder.add_claim("s2", "o1", "a1", "also-claimed")
+    builder.set_truth("o1", "a1", "never-claimed")
+    findings = validate_dataset(builder.build())
+    assert any("unreachable truths" in f.message for f in findings)
+
+
+def test_orphan_truth_warns():
+    builder = DatasetBuilder()
+    builder.add_claim("s1", "o1", "a1", 1)
+    builder.add_claim("s2", "o1", "a1", 1)
+    builder.set_truth("o2", "a1", 5)
+    findings = validate_dataset(builder.build())
+    assert any("no claims" in f.message for f in findings)
+
+
+def test_finding_str_mentions_severity():
+    ds = DatasetBuilder().add_claim("s1", "o1", "a1", 1).build()
+    findings = validate_dataset(ds)
+    assert all(str(f).startswith("[") for f in findings)
+
+
+def test_check_passes_clean_dataset(tiny_dataset):
+    check_dataset(tiny_dataset)  # should not raise
