@@ -1,9 +1,9 @@
-.PHONY: install test test-fast bench report examples clean
+.PHONY: install test test-fast bench bench-smoke report examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test:
+test: bench-smoke
 	pytest tests/
 
 test-fast:
@@ -11,6 +11,15 @@ test-fast:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Smallest-config run of the partition-selection perf harness; fails if
+# the JSON artefact cannot be produced, so perf regressions that break
+# the harness are caught in the ordinary test flow.
+bench-smoke:
+	PYTHONPATH=src python benchmarks/bench_partition_select.py \
+	    --config smoke --repeat 1 \
+	    --output BENCH_partition_select_smoke.json
+	test -s BENCH_partition_select_smoke.json
 
 report:
 	python -c "from repro.evaluation.report import write_report; \

@@ -1,0 +1,193 @@
+"""Perf harness for the partition-selection hot path.
+
+Times every stage of one TD-AC pass — reference run, truth-vector
+build, pairwise distance matrix, k-sweep, per-block runs — and emits the
+result as ``BENCH_partition_select.json`` so future PRs have a wall-time
+trajectory to regress against.  The *partition-selection stage* (what
+Algorithm 1 adds on top of one base run: vector build + distances +
+sweep) is reported separately; that is the quantity TD-AC's efficiency
+claim over the Bell-number brute force rests on.
+
+Two entry points:
+
+* standalone — ``python benchmarks/bench_partition_select.py --config
+  smoke`` (the ``make bench-smoke`` target); ``--baseline FILE`` merges
+  an externally measured record (e.g. from a pre-optimization commit)
+  into the emitted JSON and reports the speedup;
+* pytest — collected with the rest of the bench suite, runs the smoke
+  config and asserts the JSON artefact is produced.
+
+Stage timings are min-of-``--repeat`` to damp scheduler noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.algorithms import Accu
+from repro.core import TDAC, build_truth_vectors, run_blocks
+
+CONFIGS = {
+    # The smallest config: fast enough for `make bench-smoke` / CI.
+    "smoke": {"dataset": "DS2", "scale": 0.05},
+    # The largest config of bench_ablation_scaling.py, the reference
+    # point for cross-PR perf comparisons.
+    "scaling-largest": {"dataset": "DS2", "scale": 0.4},
+}
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_partition_select.json"
+
+
+def measure(
+    dataset_name: str,
+    scale: float,
+    seed: int = 0,
+    n_jobs: int = 1,
+    backend: str = "threads",
+    sparse: str | bool = "auto",
+    repeat: int = 3,
+) -> dict:
+    """Stage wall times (seconds, min over ``repeat`` runs) for one config."""
+    from repro.datasets import load
+
+    best: dict[str, float] = {}
+    partition = None
+    for _ in range(max(repeat, 1)):
+        dataset = load(dataset_name, scale=scale)
+        tdac = TDAC(
+            Accu(), seed=seed, n_jobs=n_jobs, backend=backend, sparse=sparse
+        )
+
+        start = time.perf_counter()
+        reference = tdac.reference_algorithm.discover(dataset)
+        stage_reference = time.perf_counter() - start
+
+        start = time.perf_counter()
+        vectors = build_truth_vectors(dataset, reference)
+        stage_vectors = time.perf_counter() - start
+
+        start = time.perf_counter()
+        tdac.pairwise_distances(vectors)
+        stage_distance = time.perf_counter() - start
+
+        start = time.perf_counter()
+        partition, _ = tdac.select_partition(vectors)
+        stage_sweep = time.perf_counter() - start
+
+        start = time.perf_counter()
+        run_blocks(tdac.base, dataset, partition, n_jobs=n_jobs, backend=backend)
+        stage_blocks = time.perf_counter() - start
+
+        stages = {
+            "reference": stage_reference,
+            "vector_build": stage_vectors,
+            "distance_matrix": stage_distance,
+            # select_partition recomputes the distances internally, so
+            # the sweep stage covers distances + k-means grid + scoring.
+            "sweep": stage_sweep,
+            "block_runs": stage_blocks,
+            "partition_select_stage": stage_vectors + stage_sweep,
+            "total": stage_reference + stage_vectors + stage_sweep + stage_blocks,
+        }
+        for name, seconds in stages.items():
+            best[name] = min(best.get(name, float("inf")), seconds)
+    return {
+        "dataset": dataset_name,
+        "scale": scale,
+        "seed": seed,
+        "n_jobs": n_jobs,
+        "backend": backend,
+        "sparse": str(sparse),
+        "repeat": repeat,
+        "partition": str(partition),
+        "stages_seconds": {k: round(v, 6) for k, v in best.items()},
+    }
+
+
+def build_report(
+    config: str,
+    repeat: int = 3,
+    n_jobs: int = 1,
+    backend: str = "threads",
+    baseline: dict | None = None,
+) -> dict:
+    parameters = CONFIGS[config]
+    record = measure(
+        parameters["dataset"],
+        parameters["scale"],
+        n_jobs=n_jobs,
+        backend=backend,
+        repeat=repeat,
+    )
+    report = {"config": config, "optimized": record}
+    if baseline is not None:
+        report["baseline"] = baseline
+        base_stage = baseline.get("stages_seconds", {}).get(
+            "partition_select_stage"
+        )
+        new_stage = record["stages_seconds"]["partition_select_stage"]
+        if base_stage:
+            report["partition_select_speedup"] = round(base_stage / new_stage, 2)
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--config", choices=sorted(CONFIGS), default="smoke")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--n-jobs", type=int, default=1)
+    parser.add_argument("--backend", choices=["threads", "processes"], default="threads")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="JSON file with a pre-optimization measurement to merge",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.baseline is not None:
+        baseline = json.loads(args.baseline.read_text())
+    report = build_report(
+        args.config,
+        repeat=args.repeat,
+        n_jobs=args.n_jobs,
+        backend=args.backend,
+        baseline=baseline,
+    )
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"wrote {args.output}")
+    return 0
+
+
+def test_partition_select_bench(record_artifact, benchmark, tmp_path):
+    """Bench-suite entry: smoke config must produce the JSON artefact."""
+    from conftest import run_once
+
+    output = tmp_path / "BENCH_partition_select.json"
+    run_once(benchmark, main, ["--config", "smoke", "--repeat", "1", "--output", str(output)])
+    assert output.is_file(), "bench failed to emit BENCH_partition_select.json"
+    report = json.loads(output.read_text())
+    stages = report["optimized"]["stages_seconds"]
+    for stage in (
+        "reference",
+        "vector_build",
+        "distance_matrix",
+        "sweep",
+        "block_runs",
+        "partition_select_stage",
+    ):
+        assert stage in stages, stage
+    record_artifact(
+        "partition_select_bench", json.dumps(report, indent=2, sort_keys=True)
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

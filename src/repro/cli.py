@@ -73,6 +73,24 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("dataset")
     run.add_argument("--scale", type=float, default=1.0)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        help="workers for TD-AC's k-sweep and per-block passes (TDAC+ only)",
+    )
+    run.add_argument(
+        "--backend",
+        choices=["threads", "processes"],
+        default="threads",
+        help="executor kind behind --n-jobs (TDAC+ only)",
+    )
+    run.add_argument(
+        "--sparse",
+        choices=["auto", "always", "never"],
+        default="auto",
+        help="CSR vs dense distance kernels for TD-AC (TDAC+ only)",
+    )
 
     board = sub.add_parser(
         "leaderboard", help="rank every algorithm on one dataset"
@@ -95,10 +113,19 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _make_algorithm(name: str, seed: int):
+def _make_algorithm(
+    name: str,
+    seed: int,
+    n_jobs: int = 1,
+    backend: str = "threads",
+    sparse: str = "auto",
+):
     if name.upper().startswith("TDAC+"):
         base = create(name[5:])
-        return TDAC(base, seed=seed)
+        sparse_mode = {"auto": "auto", "always": True, "never": False}[sparse]
+        return TDAC(
+            base, seed=seed, n_jobs=n_jobs, backend=backend, sparse=sparse_mode
+        )
     return create(name)
 
 
@@ -148,7 +175,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(performance_table(records, title=f"Table 9 ({args.dataset})"))
     elif args.command == "run":
         dataset = load(args.dataset, seed=args.seed, scale=args.scale)
-        record = run_algorithm(_make_algorithm(args.algorithm, args.seed), dataset)
+        record = run_algorithm(
+            _make_algorithm(
+                args.algorithm,
+                args.seed,
+                n_jobs=args.n_jobs,
+                backend=args.backend,
+                sparse=args.sparse,
+            ),
+            dataset,
+        )
         print(performance_table([record], title=str(dataset)))
         if record.partition is not None:
             print(f"partition: {record.partition}")

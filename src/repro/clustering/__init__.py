@@ -16,18 +16,33 @@ from repro.clustering.distance import (
     pairwise,
     pairwise_euclidean,
     pairwise_hamming,
+    pairwise_hamming_sparse,
     pairwise_masked_hamming,
+    pairwise_masked_hamming_sparse,
 )
-from repro.clustering.kmeans import KMeans, KMeansResult, inertia_of
+from repro.clustering.kmeans import (
+    KMeans,
+    KMeansResult,
+    inertia_of,
+    initial_centroid_sequence,
+    lloyd,
+)
 from repro.clustering.kselect import (
     K_SELECTORS,
     KSelectionResult,
+    score_silhouette_sweep,
     select_k_elbow,
     select_k_gap,
     select_k_silhouette,
 )
-from repro.clustering.silhouette import silhouette_samples, silhouette_score
+from repro.clustering.silhouette import (
+    cluster_distance_sums,
+    silhouette_samples,
+    silhouette_score,
+    total_distance_row_sums,
+)
 from repro.clustering.spectral import Spectral, SpectralResult
+from repro.clustering.sweep import sweep_kmeans
 
 __all__ = [
     "Agglomerative",
@@ -37,14 +52,20 @@ __all__ = [
     "KSelectionResult",
     "K_SELECTORS",
     "PAIRWISE_METRICS",
+    "cluster_distance_sums",
     "euclidean",
     "hamming",
     "inertia_of",
+    "initial_centroid_sequence",
+    "lloyd",
     "masked_hamming",
     "pairwise",
     "pairwise_euclidean",
     "pairwise_hamming",
+    "pairwise_hamming_sparse",
     "pairwise_masked_hamming",
+    "pairwise_masked_hamming_sparse",
+    "score_silhouette_sweep",
     "select_k_elbow",
     "select_k_gap",
     "select_k_silhouette",
@@ -52,4 +73,6 @@ __all__ = [
     "silhouette_score",
     "Spectral",
     "SpectralResult",
+    "sweep_kmeans",
+    "total_distance_row_sums",
 ]

@@ -62,11 +62,19 @@ def masked_hamming(
     return raw * len(a) / observed
 
 
+# Memory budget for the non-binary pairwise fallback: the comparison is
+# evaluated in row chunks so the intermediate boolean block stays within
+# roughly this many elements instead of materialising an (n, n, d) cube.
+_CHUNK_ELEMENT_BUDGET = 4_000_000
+
+
 def pairwise_hamming(matrix: np.ndarray) -> np.ndarray:
     """Pairwise Hamming distance matrix of the rows of ``matrix``.
 
     Vectorised for binary inputs: ``d(x, y) = sum x + sum y - 2 x.y``.
-    Non-binary inputs fall back to broadcast comparison.
+    Non-binary inputs fall back to elementwise comparison, evaluated in
+    row chunks so memory stays bounded by ``_CHUNK_ELEMENT_BUDGET``
+    instead of growing as ``n^2 * d``.
     """
     matrix = np.asarray(matrix, dtype=float)
     if matrix.ndim != 2:
@@ -77,7 +85,14 @@ def pairwise_hamming(matrix: np.ndarray) -> np.ndarray:
         row_sums = matrix.sum(axis=1)
         distances = row_sums[:, None] + row_sums[None, :] - 2.0 * gram
         return np.maximum(distances, 0.0)
-    return (matrix[:, None, :] != matrix[None, :, :]).sum(axis=2).astype(float)
+    n, d = matrix.shape
+    distances = np.empty((n, n), dtype=float)
+    chunk = max(1, _CHUNK_ELEMENT_BUDGET // max(n * d, 1))
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        block = matrix[start:stop, None, :] != matrix[None, :, :]
+        distances[start:stop] = block.sum(axis=2)
+    return distances
 
 
 def pairwise_masked_hamming(matrix: np.ndarray, mask: np.ndarray) -> np.ndarray:
@@ -98,6 +113,56 @@ def pairwise_masked_hamming(matrix: np.ndarray, mask: np.ndarray) -> np.ndarray:
     raw = sums_in_overlap_a + sums_in_overlap_b - 2.0 * gram
     with np.errstate(divide="ignore", invalid="ignore"):
         scaled = np.where(observed > 0, raw * length / np.maximum(observed, 1.0), float(length))
+    np.fill_diagonal(scaled, 0.0)
+    return np.maximum(scaled, 0.0)
+
+
+def pairwise_hamming_sparse(matrix) -> np.ndarray:
+    """:func:`pairwise_hamming` on a scipy CSR/CSC binary matrix.
+
+    Same Gram expansion ``sum x + sum y - 2 x.y``, with the product taken
+    directly on the sparse operand — ``O(nnz)`` work instead of
+    ``O(n * d)``.  All quantities are counts of 0/1 agreements, which
+    float64 represents exactly, so the result is bit-identical to the
+    dense path whatever the summation order.
+    """
+    from scipy import sparse as sp
+
+    if not sp.issparse(matrix):
+        raise TypeError("expected a scipy sparse matrix")
+    csr = matrix.tocsr().astype(np.float64)
+    gram = np.asarray((csr @ csr.T).todense(), dtype=float)
+    row_sums = np.asarray(csr.sum(axis=1)).ravel().astype(float)
+    distances = row_sums[:, None] + row_sums[None, :] - 2.0 * gram
+    return np.maximum(distances, 0.0)
+
+
+def pairwise_masked_hamming_sparse(matrix, mask) -> np.ndarray:
+    """:func:`pairwise_masked_hamming` on scipy sparse binary operands.
+
+    ``matrix`` must be zero wherever ``mask`` is zero (the truth-vector
+    invariant: a rank can only be confirmed where it is observed), which
+    lets the overlap-restricted sums come straight from sparse products.
+    Counts are integers, so the result matches the dense path exactly.
+    """
+    from scipy import sparse as sp
+
+    if not (sp.issparse(matrix) and sp.issparse(mask)):
+        raise TypeError("expected scipy sparse matrices")
+    if matrix.shape != mask.shape:
+        raise ValueError("matrix and mask must have the same shape")
+    values = matrix.tocsr().astype(np.float64)
+    ones = mask.tocsr().astype(np.float64)
+    n, length = values.shape
+    observed = np.asarray((ones @ ones.T).todense(), dtype=float)
+    gram = np.asarray((values @ values.T).todense(), dtype=float)
+    sums_in_overlap_a = np.asarray((values @ ones.T).todense(), dtype=float)
+    sums_in_overlap_b = np.asarray((ones @ values.T).todense(), dtype=float)
+    raw = sums_in_overlap_a + sums_in_overlap_b - 2.0 * gram
+    with np.errstate(divide="ignore", invalid="ignore"):
+        scaled = np.where(
+            observed > 0, raw * length / np.maximum(observed, 1.0), float(length)
+        )
     np.fill_diagonal(scaled, 0.0)
     return np.maximum(scaled, 0.0)
 

@@ -7,6 +7,19 @@ Equation 3), k-means++ or random initialisation, several restarts keeping
 the best inertia, and deterministic behaviour through an explicit random
 generator.
 
+The module exposes its internals at three altitudes so the k-sweep of
+Algorithm 1 can be scheduled by :mod:`repro.clustering.sweep`:
+
+* :class:`KMeans` — the classic fit-and-restart front end;
+* :func:`initial_centroid_sequence` — draw the restart seeds of one fit
+  up front, consuming the generator in exactly the order ``fit`` would;
+* :func:`lloyd` — the deterministic iteration from a given seeding,
+  which is the unit of work a parallel sweep fans out.
+
+Because ``lloyd`` draws no randomness, splitting a fit into "draw all
+seeds, then iterate each" is bit-identical to the sequential restart
+loop, whatever executor runs the iterations.
+
 For the binary attribute truth vectors the squared Euclidean objective
 coincides with the paper's Hamming-distance objective (Eq. 2), see
 :mod:`repro.clustering.distance`.
@@ -17,6 +30,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+
+# Below this many rows a Python loop over rows beats ``np.ufunc.at``'s
+# per-element dispatch by an order of magnitude; both accumulate in row
+# order so the results are bit-identical.
+_SCATTER_LOOP_MAX_ROWS = 512
 
 
 @dataclass(frozen=True)
@@ -107,98 +125,183 @@ class KMeans:
             raise ValueError(
                 f"cannot fit {self.n_clusters} clusters to {n_rows} rows"
             )
+        seedings = initial_centroid_sequence(
+            data, self.n_clusters, self.n_init, self._rng, init=self.init
+        )
+        data_norms = np.einsum("ij,ij->i", data, data)
         best: KMeansResult | None = None
-        for _ in range(self.n_init):
-            result = self._fit_once(data)
+        for centroids in seedings:
+            result = lloyd(
+                data,
+                centroids,
+                max_iterations=self.max_iterations,
+                tolerance=self.tolerance,
+                data_norms=data_norms,
+            )
             if best is None or result.inertia < best.inertia:
                 best = result
         assert best is not None
         return best
 
-    # ------------------------------------------------------------------
 
-    def _fit_once(self, data: np.ndarray) -> KMeansResult:
-        centroids = self._initial_centroids(data)
-        labels = np.zeros(len(data), dtype=np.int64)
-        iterations = 0
-        for iterations in range(1, self.max_iterations + 1):
-            distances = _squared_distances(data, centroids)
-            labels = np.argmin(distances, axis=1)
-            new_centroids = self._update_centroids(data, labels, centroids)
-            shift = float(np.max(np.sum((new_centroids - centroids) ** 2, axis=1)))
-            centroids = new_centroids
-            if shift <= self.tolerance:
-                break
-        distances = _squared_distances(data, centroids)
-        labels = np.argmin(distances, axis=1)
-        labels, centroids = _compact_labels(labels, centroids)
-        inertia = float(np.sum(np.min(_squared_distances(data, centroids), axis=1)))
-        return KMeansResult(
-            labels=labels,
-            centroids=centroids,
-            inertia=inertia,
-            n_iterations=iterations,
-        )
+# ----------------------------------------------------------------------
+# Seeding
+# ----------------------------------------------------------------------
 
-    def _initial_centroids(self, data: np.ndarray) -> np.ndarray:
-        n_rows = len(data)
-        if self.init == "random":
-            chosen = self._rng.choice(n_rows, size=self.n_clusters, replace=False)
-            return data[chosen].copy()
-        # k-means++: spread seeds proportionally to squared distance from
-        # the nearest already-chosen seed.
-        first = int(self._rng.integers(n_rows))
-        centroids = [data[first]]
-        closest = np.sum((data - centroids[0]) ** 2, axis=1)
-        for _ in range(1, self.n_clusters):
-            total = float(closest.sum())
-            if total <= 0.0:
-                # All remaining points coincide with a seed; pick any
-                # distinct row to keep the requested k.
-                remaining = np.setdiff1d(
-                    np.arange(n_rows), [int(self._rng.integers(n_rows))]
-                )
-                pick = int(self._rng.choice(remaining))
-            else:
-                probabilities = closest / total
-                pick = int(self._rng.choice(n_rows, p=probabilities))
-            centroids.append(data[pick])
-            closest = np.minimum(
-                closest, np.sum((data - centroids[-1]) ** 2, axis=1)
+
+def initial_centroid_sequence(
+    data: np.ndarray,
+    n_clusters: int,
+    n_init: int,
+    rng: np.random.Generator,
+    init: str = "k-means++",
+) -> list[np.ndarray]:
+    """The restart seedings of one fit, drawn up front.
+
+    Consumes ``rng`` in exactly the order :meth:`KMeans.fit` would (one
+    seeding per restart, back to back), so running the returned seedings
+    through :func:`lloyd` — in any schedule — reproduces the sequential
+    fit bit for bit.
+    """
+    return [
+        initial_centroids(data, n_clusters, rng, init=init)
+        for _ in range(n_init)
+    ]
+
+
+def initial_centroids(
+    data: np.ndarray,
+    n_clusters: int,
+    rng: np.random.Generator,
+    init: str = "k-means++",
+) -> np.ndarray:
+    """One seeding: k-means++ spreading or uniform row sampling."""
+    n_rows = len(data)
+    if init == "random":
+        chosen = rng.choice(n_rows, size=n_clusters, replace=False)
+        return data[chosen].copy()
+    if init != "k-means++":
+        raise ValueError(f"unknown init strategy {init!r}")
+    # k-means++: spread seeds proportionally to squared distance from
+    # the nearest already-chosen seed.
+    first = int(rng.integers(n_rows))
+    centroids = [data[first]]
+    closest = np.sum((data - centroids[0]) ** 2, axis=1)
+    for _ in range(1, n_clusters):
+        total = float(closest.sum())
+        if total <= 0.0:
+            # All remaining points coincide with a seed; pick any
+            # distinct row to keep the requested k.
+            remaining = np.setdiff1d(
+                np.arange(n_rows), [int(rng.integers(n_rows))]
             )
-        return np.asarray(centroids)
+            pick = int(rng.choice(remaining))
+        else:
+            probabilities = closest / total
+            pick = int(rng.choice(n_rows, p=probabilities))
+        centroids.append(data[pick])
+        closest = np.minimum(
+            closest, np.sum((data - centroids[-1]) ** 2, axis=1)
+        )
+    return np.asarray(centroids)
 
-    def _update_centroids(
-        self, data: np.ndarray, labels: np.ndarray, previous: np.ndarray
-    ) -> np.ndarray:
-        sums = np.zeros_like(previous)
+
+# ----------------------------------------------------------------------
+# Iteration
+# ----------------------------------------------------------------------
+
+
+def lloyd(
+    data: np.ndarray,
+    seeding: np.ndarray,
+    max_iterations: int = 300,
+    tolerance: float = 1e-6,
+    data_norms: np.ndarray | None = None,
+) -> KMeansResult:
+    """Lloyd iterations from a given seeding; draws no randomness.
+
+    ``data_norms`` may carry the precomputed per-row squared norms
+    (``einsum("ij,ij->i", data, data)``); they depend only on ``data``,
+    so one computation serves every restart and every ``k`` of a sweep.
+    """
+    data = np.asarray(data, dtype=float)
+    if data_norms is None:
+        data_norms = np.einsum("ij,ij->i", data, data)
+    centroids = np.asarray(seeding, dtype=float)
+    n_clusters = len(centroids)
+    labels = np.zeros(len(data), dtype=np.int64)
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        distances = _squared_distances(data, centroids, data_norms)
+        labels = np.argmin(distances, axis=1)
+        new_centroids = _update_centroids(
+            data, labels, centroids, n_clusters, data_norms
+        )
+        shift = float(np.max(np.sum((new_centroids - centroids) ** 2, axis=1)))
+        centroids = new_centroids
+        if shift <= tolerance:
+            break
+    distances = _squared_distances(data, centroids, data_norms)
+    labels = np.argmin(distances, axis=1)
+    labels, centroids = _compact_labels(labels, centroids)
+    inertia = float(
+        np.sum(np.min(_squared_distances(data, centroids, data_norms), axis=1))
+    )
+    return KMeansResult(
+        labels=labels,
+        centroids=centroids,
+        inertia=inertia,
+        n_iterations=iterations,
+    )
+
+
+def _update_centroids(
+    data: np.ndarray,
+    labels: np.ndarray,
+    previous: np.ndarray,
+    n_clusters: int,
+    data_norms: np.ndarray | None = None,
+) -> np.ndarray:
+    sums = np.zeros_like(previous)
+    if len(data) <= _SCATTER_LOOP_MAX_ROWS:
+        # Row-order accumulation, same addition order as np.add.at.
+        for row, label in zip(data, labels):
+            sums[label] += row
+    else:
         np.add.at(sums, labels, data)
-        counts = np.bincount(labels, minlength=self.n_clusters).astype(float)
-        occupied = counts > 0
-        centroids = previous.copy()
-        centroids[occupied] = sums[occupied] / counts[occupied, None]
-        empty = np.flatnonzero(~occupied)
-        if len(empty):
-            # Empty-cluster repair: reseed at the points farthest from
-            # their assigned centroid, a standard Lloyd fix-up.
-            distances = _squared_distances(data, previous)
-            assigned = np.min(distances, axis=1)
-            farthest = np.argsort(-assigned)
-            for slot, cluster in enumerate(empty):
-                centroids[cluster] = data[farthest[slot % len(data)]]
-        return centroids
+    counts = np.bincount(labels, minlength=n_clusters).astype(float)
+    occupied = counts > 0
+    centroids = previous.copy()
+    centroids[occupied] = sums[occupied] / counts[occupied, None]
+    empty = np.flatnonzero(~occupied)
+    if len(empty):
+        # Empty-cluster repair: reseed at the points farthest from
+        # their assigned centroid, a standard Lloyd fix-up.
+        distances = _squared_distances(data, previous, data_norms)
+        assigned = np.min(distances, axis=1)
+        farthest = np.argsort(-assigned)
+        for slot, cluster in enumerate(empty):
+            centroids[cluster] = data[farthest[slot % len(data)]]
+    return centroids
 
 
-def _squared_distances(data: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+def _squared_distances(
+    data: np.ndarray,
+    centroids: np.ndarray,
+    data_norms: np.ndarray | None = None,
+) -> np.ndarray:
     """``(n_rows, k)`` squared Euclidean distances to every centroid.
 
     Uses the Gram expansion ``|x|^2 + |c|^2 - 2 x.c`` so the heavy part
     is one BLAS matrix product instead of a broadcast (n, k, d) cube.
+    ``data_norms`` optionally carries the row norms, which are constant
+    across Lloyd iterations and restarts.
     """
-    row_norms = np.einsum("ij,ij->i", data, data)
+    if data_norms is None:
+        data_norms = np.einsum("ij,ij->i", data, data)
     centroid_norms = np.einsum("ij,ij->i", centroids, centroids)
     cross = data @ centroids.T
-    distances = row_norms[:, None] + centroid_norms[None, :] - 2.0 * cross
+    distances = data_norms[:, None] + centroid_norms[None, :] - 2.0 * cross
     return np.maximum(distances, 0.0)
 
 

@@ -7,6 +7,11 @@ inertia drop) and Tibshirani's gap statistic against a uniform reference.
 
 Every strategy returns a :class:`KSelectionResult` with the chosen ``k``,
 its labelling, and the full diagnostic curve so benches can plot it.
+
+All three accept ``n_jobs`` / ``backend``: the underlying ``(k, init)``
+restart grid is fanned out over a shared executor by
+:mod:`repro.clustering.sweep`, with results gathered in task order so
+any worker count selects the same ``k`` and labels as a sequential run.
 """
 
 from __future__ import annotations
@@ -17,8 +22,14 @@ from typing import Mapping
 import numpy as np
 
 from repro.clustering.distance import pairwise_hamming
-from repro.clustering.kmeans import KMeans
-from repro.clustering.silhouette import silhouette_score
+from repro.clustering.kmeans import KMeans, KMeansResult
+from repro.clustering.silhouette import (
+    cluster_distance_sums,
+    silhouette_score,
+    total_distance_row_sums,
+)
+from repro.clustering.sweep import sweep_kmeans
+from repro.execution import ordered_map
 
 
 @dataclass(frozen=True)
@@ -31,20 +42,6 @@ class KSelectionResult:
     strategy: str
 
 
-def _fit_all(
-    data: np.ndarray,
-    k_range: range,
-    seed: int,
-    n_init: int,
-) -> dict[int, np.ndarray]:
-    """Fit k-means for every k in the range; labels per k."""
-    fits: dict[int, np.ndarray] = {}
-    for k in k_range:
-        result = KMeans(n_clusters=k, n_init=n_init, seed=seed).fit(data)
-        fits[k] = result.labels
-    return fits
-
-
 def _valid_range(n_rows: int, k_min: int, k_max: int | None) -> range:
     upper = n_rows - 1 if k_max is None else min(k_max, n_rows - 1)
     if upper < k_min:
@@ -52,6 +49,50 @@ def _valid_range(n_rows: int, k_min: int, k_max: int | None) -> range:
             f"no valid k in [{k_min}, {upper}] for {n_rows} rows"
         )
     return range(k_min, upper + 1)
+
+
+def _distances_are_integral(distances: np.ndarray) -> bool:
+    """Whether every pairwise distance is an exact integer (e.g. Hamming).
+
+    Integer-valued distance matrices admit the single-pass cluster-sum
+    aggregation of :func:`cluster_distance_sums` with no floating-point
+    drift; fractional matrices (e.g. masked Hamming) keep the one-hot
+    matrix product so scores stay bit-identical to the classic path.
+    """
+    return bool(np.equal(np.floor(distances), distances).all())
+
+
+def score_silhouette_sweep(
+    distances: np.ndarray,
+    fits: Mapping[int, KMeansResult],
+    average: str = "macro",
+) -> dict[int, float]:
+    """Silhouette of every swept clustering over one distance matrix.
+
+    Degenerate fits (fewer than 2 distinct labels) score -1.  The
+    label-independent distance row sums are computed once and reused by
+    every candidate ``k`` when the distances are integral.
+    """
+    row_sums = (
+        total_distance_row_sums(distances)
+        if _distances_are_integral(distances)
+        else None
+    )
+    scores: dict[int, float] = {}
+    for k in sorted(fits):
+        labels = fits[k].labels
+        if len(np.unique(labels)) < 2:
+            scores[k] = -1.0
+            continue
+        cluster_sums = (
+            cluster_distance_sums(distances, labels, row_sums=row_sums)
+            if row_sums is not None
+            else None
+        )
+        scores[k] = silhouette_score(
+            distances, labels, average=average, cluster_sums=cluster_sums
+        )
+    return scores
 
 
 def select_k_silhouette(
@@ -62,6 +103,8 @@ def select_k_silhouette(
     n_init: int = 10,
     average: str = "macro",
     distances: np.ndarray | None = None,
+    n_jobs: int = 1,
+    backend: str = "threads",
 ) -> KSelectionResult:
     """The paper's sweep: best silhouette over ``k in [2, n-1]``.
 
@@ -73,16 +116,13 @@ def select_k_silhouette(
     k_range = _valid_range(len(data), k_min, k_max)
     if distances is None:
         distances = pairwise_hamming(data)
-    fits = _fit_all(data, k_range, seed, n_init)
-    scores: dict[int, float] = {}
-    for k, labels in fits.items():
-        if len(np.unique(labels)) < 2:
-            scores[k] = -1.0
-            continue
-        scores[k] = silhouette_score(distances, labels, average=average)
+    fits = sweep_kmeans(
+        data, k_range, n_init=n_init, seed=seed, n_jobs=n_jobs, backend=backend
+    )
+    scores = score_silhouette_sweep(distances, fits, average=average)
     best_k = max(scores, key=lambda k: (scores[k], -k))
     return KSelectionResult(
-        k=best_k, labels=fits[best_k], scores=scores, strategy="silhouette"
+        k=best_k, labels=fits[best_k].labels, scores=scores, strategy="silhouette"
     )
 
 
@@ -92,16 +132,16 @@ def select_k_elbow(
     k_max: int | None = None,
     seed: int = 0,
     n_init: int = 10,
+    n_jobs: int = 1,
+    backend: str = "threads",
 ) -> KSelectionResult:
     """Elbow criterion: k with the largest curvature of the inertia curve."""
     data = np.asarray(data, dtype=float)
     k_range = _valid_range(len(data), k_min, k_max)
-    inertias: dict[int, float] = {}
-    fits: dict[int, np.ndarray] = {}
-    for k in k_range:
-        result = KMeans(n_clusters=k, n_init=n_init, seed=seed).fit(data)
-        inertias[k] = result.inertia
-        fits[k] = result.labels
+    fits = sweep_kmeans(
+        data, k_range, n_init=n_init, seed=seed, n_jobs=n_jobs, backend=backend
+    )
+    inertias = {k: fits[k].inertia for k in k_range}
     ks = sorted(inertias)
     if len(ks) <= 2:
         best_k = ks[0]
@@ -113,8 +153,14 @@ def select_k_elbow(
         }
         best_k = max(curvatures, key=lambda k: (curvatures[k], -k))
     return KSelectionResult(
-        k=best_k, labels=fits[best_k], scores=inertias, strategy="elbow"
+        k=best_k, labels=fits[best_k].labels, scores=inertias, strategy="elbow"
     )
+
+
+def _fit_reference(fake: np.ndarray, k: int, seed: int) -> float:
+    """Log-inertia of a 1-restart fit on one uniform reference draw."""
+    ref = KMeans(n_clusters=k, n_init=1, seed=seed).fit(fake)
+    return float(np.log(max(ref.inertia, 1e-12)))
 
 
 def select_k_gap(
@@ -124,29 +170,39 @@ def select_k_gap(
     seed: int = 0,
     n_init: int = 10,
     n_references: int = 10,
+    n_jobs: int = 1,
+    backend: str = "threads",
 ) -> KSelectionResult:
     """Tibshirani's gap statistic with a uniform-box reference.
 
     Picks the smallest ``k`` with ``gap(k) >= gap(k+1) - s(k+1)``; falls
-    back to the max-gap ``k`` when the inequality never holds.
+    back to the max-gap ``k`` when the inequality never holds.  The
+    reference datasets are drawn sequentially (one generator, fixed
+    order) and only the fits are fanned out, keeping any ``n_jobs``
+    bit-identical to the sequential pass.
     """
     data = np.asarray(data, dtype=float)
     k_range = _valid_range(len(data), k_min, k_max)
     rng = np.random.default_rng(seed)
     lows, highs = data.min(axis=0), data.max(axis=0)
-    gaps: dict[int, float] = {}
-    errors: dict[int, float] = {}
-    fits: dict[int, np.ndarray] = {}
+    fits = sweep_kmeans(
+        data, k_range, n_init=n_init, seed=seed, n_jobs=n_jobs, backend=backend
+    )
+    reference_tasks: list[tuple[np.ndarray, int, int]] = []
     for k in k_range:
-        fit = KMeans(n_clusters=k, n_init=n_init, seed=seed).fit(data)
-        fits[k] = fit.labels
-        observed = np.log(max(fit.inertia, 1e-12))
-        reference_logs = []
         for _ in range(n_references):
             fake = rng.uniform(lows, highs, size=data.shape)
-            ref = KMeans(n_clusters=k, n_init=1, seed=seed).fit(fake)
-            reference_logs.append(np.log(max(ref.inertia, 1e-12)))
-        reference_logs = np.asarray(reference_logs)
+            reference_tasks.append((fake, k, seed))
+    reference_log_list = ordered_map(
+        _fit_reference, reference_tasks, n_jobs=n_jobs, backend=backend
+    )
+    gaps: dict[int, float] = {}
+    errors: dict[int, float] = {}
+    for i, k in enumerate(k_range):
+        observed = np.log(max(fits[k].inertia, 1e-12))
+        reference_logs = np.asarray(
+            reference_log_list[i * n_references : (i + 1) * n_references]
+        )
         gaps[k] = float(reference_logs.mean() - observed)
         errors[k] = float(
             reference_logs.std(ddof=0) * np.sqrt(1.0 + 1.0 / n_references)
@@ -161,7 +217,7 @@ def select_k_gap(
     if best_k is None:
         best_k = max(gaps, key=lambda k: (gaps[k], -k))
     return KSelectionResult(
-        k=best_k, labels=fits[best_k], scores=gaps, strategy="gap"
+        k=best_k, labels=fits[best_k].labels, scores=gaps, strategy="gap"
     )
 
 

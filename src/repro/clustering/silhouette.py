@@ -15,6 +15,19 @@ offered, and TD-AC uses the paper's macro variant.
 
 Singleton clusters have an undefined ``alpha``; following Rousseeuw's
 convention their silhouette is 0.
+
+Everything downstream of the ``(n, k)`` matrix of summed distances to
+each cluster is cheap; that aggregation is the silhouette's only
+``O(n^2)`` reduction.  A k-sweep evaluating many candidate clusterings
+over the **same** distance matrix can therefore precompute the
+label-independent row sums once (:func:`total_distance_row_sums`) and
+build each clustering's aggregate with :func:`cluster_distance_sums`,
+which touches every distance column once instead of running a
+``k``-wide matrix product per candidate.  The fast path sums plain
+column slices, so callers should only pass ``row_sums`` when the
+distances are integer-valued (e.g. Hamming counts), where every
+summation order is exact; :func:`silhouette_samples` with no
+``cluster_sums`` keeps the historical one-hot matrix product.
 """
 
 from __future__ import annotations
@@ -22,15 +35,67 @@ from __future__ import annotations
 import numpy as np
 
 
+def total_distance_row_sums(distances: np.ndarray) -> np.ndarray:
+    """Per-point sum of distances to **all** points.
+
+    Label-independent, so a k-sweep computes it once and reuses it for
+    every candidate clustering via :func:`cluster_distance_sums`.
+    """
+    distances = np.asarray(distances, dtype=float)
+    return distances.sum(axis=1)
+
+
+def cluster_distance_sums(
+    distances: np.ndarray,
+    labels: np.ndarray,
+    row_sums: np.ndarray | None = None,
+) -> np.ndarray:
+    """``(n, k)`` summed distance from every point to every cluster.
+
+    One pass over the distance matrix: columns are grouped by cluster
+    and summed slice by slice.  With ``row_sums`` (from
+    :func:`total_distance_row_sums`) the largest cluster's column is
+    derived by subtraction instead of summed, skipping the widest slice
+    entirely.  Exact (bit-identical to the one-hot matrix product) when
+    the distances are integer-valued, as Hamming distances are.
+    """
+    distances = np.asarray(distances, dtype=float)
+    labels = np.asarray(labels)
+    n = len(labels)
+    if distances.shape != (n, n):
+        raise ValueError("distance matrix shape does not match labels")
+    unique, dense = np.unique(labels, return_inverse=True)
+    k = len(unique)
+    order = np.argsort(dense, kind="stable")
+    counts = np.bincount(dense, minlength=k)
+    starts = np.concatenate(([0], np.cumsum(counts)))
+    sums = np.empty((n, k), dtype=float)
+    skip = int(np.argmax(counts)) if row_sums is not None else -1
+    for cluster in range(k):
+        if cluster == skip:
+            continue
+        members = order[starts[cluster] : starts[cluster + 1]]
+        sums[:, cluster] = distances[:, members].sum(axis=1)
+    if skip >= 0:
+        others = [c for c in range(k) if c != skip]
+        sums[:, skip] = row_sums - sums[:, others].sum(axis=1)
+    return sums
+
+
 def silhouette_samples(
-    distances: np.ndarray, labels: np.ndarray
+    distances: np.ndarray,
+    labels: np.ndarray,
+    cluster_sums: np.ndarray | None = None,
 ) -> np.ndarray:
     """Per-point silhouette coefficients from a pairwise distance matrix.
 
     Vectorised: the (n, k) matrix of summed distances to every cluster is
     one matrix product against the one-hot membership matrix, from which
     cohesion (own cluster, self excluded) and separation (best foreign
-    cluster) follow without Python loops.
+    cluster) follow without Python loops.  ``cluster_sums`` may supply
+    that aggregate precomputed (see :func:`cluster_distance_sums`), which
+    is how the k-sweep avoids re-reducing the distance matrix per
+    candidate ``k``.
     """
     distances = np.asarray(distances, dtype=float)
     labels = np.asarray(labels)
@@ -41,10 +106,15 @@ def silhouette_samples(
     k = len(unique)
     if k < 2:
         raise ValueError("silhouette requires at least 2 clusters")
-    membership = np.zeros((n, k))
-    membership[np.arange(n), dense] = 1.0
-    counts = membership.sum(axis=0)
-    sums = distances @ membership  # (n, k): total distance to each cluster
+    counts = np.bincount(dense, minlength=k).astype(float)
+    if cluster_sums is None:
+        membership = np.zeros((n, k))
+        membership[np.arange(n), dense] = 1.0
+        sums = distances @ membership  # (n, k): total distance to each cluster
+    else:
+        sums = np.asarray(cluster_sums, dtype=float)
+        if sums.shape != (n, k):
+            raise ValueError("cluster_sums shape does not match labels")
 
     own_counts = counts[dense]
     own_sums = sums[np.arange(n), dense]
@@ -62,15 +132,19 @@ def silhouette_samples(
 
 
 def silhouette_score(
-    distances: np.ndarray, labels: np.ndarray, average: str = "macro"
+    distances: np.ndarray,
+    labels: np.ndarray,
+    average: str = "macro",
+    cluster_sums: np.ndarray | None = None,
 ) -> float:
     """Aggregate silhouette of a clustering.
 
     ``average="macro"`` follows the paper's Eqs. 6–7 (mean of per-cluster
     means); ``average="micro"`` is the plain mean over points
-    (scikit-learn's convention).
+    (scikit-learn's convention).  ``cluster_sums`` is forwarded to
+    :func:`silhouette_samples`.
     """
-    samples = silhouette_samples(distances, labels)
+    samples = silhouette_samples(distances, labels, cluster_sums=cluster_sums)
     labels = np.asarray(labels)
     if average == "micro":
         return float(samples.mean())

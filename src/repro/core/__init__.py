@@ -21,17 +21,18 @@ from repro.core.object_tdac import (
     ObjectTDACResult,
     build_object_truth_vectors,
 )
-from repro.core.parallel import run_blocks
+from repro.core.parallel import make_executor, ordered_map, run_blocks
 from repro.core.partition import (
     Partition,
     adjusted_rand_index,
     rand_index,
 )
-from repro.core.tdac import TDAC, TDACResult
+from repro.core.tdac import DEFAULT_SPARSE_THRESHOLD, TDAC, TDACResult
 from repro.core.truth_vectors import TruthVectorMatrix, build_truth_vectors
 
 __all__ = [
     "CandidateSupport",
+    "DEFAULT_SPARSE_THRESHOLD",
     "FactExplanation",
     "IncrementalTDAC",
     "ObjectTDAC",
@@ -46,6 +47,8 @@ __all__ = [
     "build_truth_vectors",
     "explain_fact",
     "explain_partition",
+    "make_executor",
+    "ordered_map",
     "rand_index",
     "run_blocks",
 ]

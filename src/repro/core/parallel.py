@@ -3,19 +3,35 @@
 The paper's second research perspective is to "propose an optimization of
 the running time ... by using parallel computation".  Blocks of a
 partition are independent sub-problems, so step 4 of Algorithm 1 is
-embarrassingly parallel.  A thread pool is used rather than processes:
-the heavy lifting inside the algorithms happens in numpy / scipy kernels
-that release the GIL, and threads avoid re-pickling the dataset per
-block.
+embarrassingly parallel.  The generic fan-out machinery (thread / process
+executors, order-preserving gather) lives in :mod:`repro.execution` and
+is shared with the k-sweep of :mod:`repro.clustering.sweep`; this module
+applies it to block datasets.
+
+Threads are the default backend: the heavy lifting inside the algorithms
+happens in numpy / scipy kernels that release the GIL, and threads avoid
+re-pickling the dataset per block.  ``backend="processes"`` is available
+for Python-bound base algorithms.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-
 from repro.algorithms.base import TruthDiscoveryAlgorithm, TruthDiscoveryResult
 from repro.core.partition import Partition
 from repro.data.dataset import Dataset
+from repro.execution import (  # noqa: F401  (re-exported for callers)
+    BACKENDS,
+    make_executor,
+    ordered_map,
+    validate_backend,
+)
+
+
+def _discover(
+    algorithm: TruthDiscoveryAlgorithm, dataset: Dataset
+) -> TruthDiscoveryResult:
+    """Module-level trampoline so the process backend can pickle it."""
+    return algorithm.discover(dataset)
 
 
 def run_blocks(
@@ -23,17 +39,21 @@ def run_blocks(
     dataset: Dataset,
     partition: Partition,
     n_jobs: int = 1,
+    backend: str = "threads",
 ) -> list[TruthDiscoveryResult]:
     """Run ``algorithm`` on every block of ``partition``.
 
     Returns one result per block, in block order.  ``n_jobs=1`` runs
-    sequentially; larger values fan the blocks out over a thread pool.
+    sequentially; larger values fan the blocks out over the requested
+    executor backend.  Results are gathered in block order, so the
+    merged output is identical whatever ``n_jobs`` and ``backend``.
     """
     block_datasets = [
         dataset.restrict_attributes(block) for block in partition.blocks
     ]
-    if n_jobs == 1 or len(block_datasets) == 1:
-        return [algorithm.discover(block) for block in block_datasets]
-    workers = min(n_jobs, len(block_datasets))
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(algorithm.discover, block_datasets))
+    return ordered_map(
+        _discover,
+        [(algorithm, block) for block in block_datasets],
+        n_jobs=n_jobs,
+        backend=backend,
+    )

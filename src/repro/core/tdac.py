@@ -21,20 +21,34 @@ parallel (the paper's second research perspective).
 from __future__ import annotations
 
 import time
+from collections import Counter
 from dataclasses import dataclass
 from typing import Mapping
 
 import numpy as np
 
 from repro.algorithms.base import TruthDiscoveryAlgorithm, TruthDiscoveryResult
-from repro.clustering.distance import pairwise_hamming, pairwise_masked_hamming
-from repro.clustering.kmeans import KMeans
-from repro.clustering.silhouette import silhouette_score
+from repro.clustering.distance import (
+    pairwise_hamming,
+    pairwise_hamming_sparse,
+    pairwise_masked_hamming,
+    pairwise_masked_hamming_sparse,
+)
+from repro.clustering.kselect import score_silhouette_sweep
+from repro.clustering.sweep import sweep_kmeans
 from repro.core.parallel import run_blocks
 from repro.core.partition import Partition
 from repro.core.truth_vectors import TruthVectorMatrix, build_truth_vectors
 from repro.data.dataset import Dataset
 from repro.data.types import Fact, SourceId, Value
+from repro.execution import validate_backend
+
+#: In ``sparse="auto"`` mode the sparse distance kernels take over once
+#: the dense truth-vector matrix would hold this many cells.  Below it
+#: the dense BLAS path is faster; either path returns bit-identical
+#: distances (binary operands make every Gram count exact), so the
+#: threshold is purely a performance knob.
+DEFAULT_SPARSE_THRESHOLD = 500_000
 
 
 @dataclass(frozen=True)
@@ -88,7 +102,21 @@ class TDAC(TruthDiscoveryAlgorithm):
     n_init / seed:
         k-means restart count and determinism seed.
     n_jobs:
-        Per-block parallelism of step 4; 1 runs sequentially.
+        Worker count for both parallel surfaces: the ``(k, init)``
+        restart grid of the selection sweep and the per-block passes of
+        step 4.  1 runs sequentially; any value produces bit-identical
+        results.
+    backend:
+        ``"threads"`` (default; numpy kernels release the GIL) or
+        ``"processes"`` for Python-bound base algorithms.
+    sparse:
+        ``"auto"`` (default), ``True`` or ``False`` — whether the
+        pairwise distances are computed on CSR truth vectors.  Auto
+        switches to sparse once the dense matrix reaches
+        ``sparse_threshold`` cells.  Dense and sparse kernels return
+        bit-identical distances.
+    sparse_threshold:
+        Cell-count cutover for ``sparse="auto"``.
     """
 
     def __init__(
@@ -101,6 +129,9 @@ class TDAC(TruthDiscoveryAlgorithm):
         n_init: int = 10,
         seed: int = 0,
         n_jobs: int = 1,
+        backend: str = "threads",
+        sparse: bool | str = "auto",
+        sparse_threshold: int = DEFAULT_SPARSE_THRESHOLD,
     ) -> None:
         if distance not in ("hamming", "masked"):
             raise ValueError(f"unknown distance mode {distance!r}")
@@ -108,6 +139,13 @@ class TDAC(TruthDiscoveryAlgorithm):
             raise ValueError("k_min must be at least 2")
         if n_jobs < 1:
             raise ValueError("n_jobs must be at least 1")
+        validate_backend(backend)
+        if sparse not in (True, False, "auto"):
+            raise ValueError(
+                f"sparse must be True, False or 'auto', got {sparse!r}"
+            )
+        if sparse_threshold < 0:
+            raise ValueError("sparse_threshold must be non-negative")
         self.base = base
         self.reference_algorithm = reference if reference is not None else base
         self.distance = distance
@@ -116,6 +154,9 @@ class TDAC(TruthDiscoveryAlgorithm):
         self.n_init = n_init
         self.seed = seed
         self.n_jobs = n_jobs
+        self.backend = backend
+        self.sparse = sparse
+        self.sparse_threshold = sparse_threshold
 
     @property
     def name(self) -> str:  # type: ignore[override]
@@ -134,7 +175,7 @@ class TDAC(TruthDiscoveryAlgorithm):
         vectors = build_truth_vectors(dataset, reference)
         partition, silhouettes = self.select_partition(vectors)
         block_results = run_blocks(
-            self.base, dataset, partition, n_jobs=self.n_jobs
+            self.base, dataset, partition, n_jobs=self.n_jobs, backend=self.backend
         )
         merged = self._merge(dataset, partition, block_results, start)
         return TDACResult(
@@ -153,6 +194,13 @@ class TDAC(TruthDiscoveryAlgorithm):
     ) -> tuple[Partition, dict[int, float]]:
         """Steps 2–3: sweep ``k`` with k-means, keep the best silhouette.
 
+        The pairwise distance matrix is computed once (sparse or dense
+        per the ``sparse`` knob) and shared across every candidate
+        ``k``; the ``(k, init)`` restart grid runs on one executor
+        (``n_jobs``/``backend``), and the silhouette aggregations reuse
+        the matrix's row sums across candidates.  All of it is
+        bit-identical to the sequential dense pass.
+
         Datasets with fewer than 4 attributes have an empty sweep range
         ``[2, |A| - 1]``; they fall back to the trivial one-block
         partition, which makes TD-AC degrade gracefully to plain ``F``.
@@ -164,29 +212,55 @@ class TDAC(TruthDiscoveryAlgorithm):
         if upper < self.k_min:
             return Partition.whole(vectors.attributes), {}
         data = vectors.matrix.astype(float)
-        if self.distance == "masked":
-            distances = pairwise_masked_hamming(data, vectors.mask)
-        else:
-            distances = pairwise_hamming(data)
+        distances = self.pairwise_distances(vectors)
+        fits = sweep_kmeans(
+            data,
+            range(self.k_min, upper + 1),
+            n_init=self.n_init,
+            seed=self.seed,
+            n_jobs=self.n_jobs,
+            backend=self.backend,
+        )
+        silhouettes = score_silhouette_sweep(distances, fits, average="macro")
         best_partition: Partition | None = None
         best_score = -np.inf
-        silhouettes: dict[int, float] = {}
-        for k in range(self.k_min, upper + 1):
-            fit = KMeans(n_clusters=k, n_init=self.n_init, seed=self.seed).fit(data)
-            if len(np.unique(fit.labels)) < 2:
-                silhouettes[k] = -1.0
+        for k in sorted(fits):
+            labels = fits[k].labels
+            if len(np.unique(labels)) < 2:
                 continue
-            score = silhouette_score(distances, fit.labels, average="macro")
-            silhouettes[k] = score
             # Algorithm 1 keeps the first k on ties (strict improvement).
-            if score > best_score:
-                best_score = score
+            if silhouettes[k] > best_score:
+                best_score = silhouettes[k]
                 best_partition = Partition.from_labels(
-                    vectors.attributes, fit.labels
+                    vectors.attributes, labels
                 )
         if best_partition is None:
             best_partition = Partition.whole(vectors.attributes)
         return best_partition, silhouettes
+
+    def pairwise_distances(self, vectors: TruthVectorMatrix) -> np.ndarray:
+        """The attribute distance matrix under the configured mode.
+
+        Dispatches between the dense kernels and the CSR Gram kernels of
+        :mod:`repro.clustering.distance`; both return the same matrix,
+        so this only decides how the reduction is executed.
+        """
+        if self.use_sparse(vectors):
+            if self.distance == "masked":
+                return pairwise_masked_hamming_sparse(
+                    vectors.matrix_csr(), vectors.mask_csr()
+                )
+            return pairwise_hamming_sparse(vectors.matrix_csr())
+        data = vectors.matrix.astype(float)
+        if self.distance == "masked":
+            return pairwise_masked_hamming(data, vectors.mask)
+        return pairwise_hamming(data)
+
+    def use_sparse(self, vectors: TruthVectorMatrix) -> bool:
+        """Whether the sparse distance path applies to ``vectors``."""
+        if self.sparse == "auto":
+            return vectors.matrix.size >= self.sparse_threshold
+        return bool(self.sparse)
 
     def _merge(
         self,
@@ -208,10 +282,12 @@ class TDAC(TruthDiscoveryAlgorithm):
             confidence.update(block_result.confidence)
         weights: dict[SourceId, float] = {s: 0.0 for s in dataset.sources}
         trust_sums: dict[SourceId, float] = {s: 0.0 for s in dataset.sources}
+        # One pass over the claims builds the attribute -> claim-count
+        # map; each block then sums its attributes' counts instead of
+        # rescanning every claim per block.
+        claims_per_attribute = Counter(a for (_, _, a) in dataset.claims)
         for block, block_result in zip(partition.blocks, block_results):
-            block_claims = sum(
-                1 for c in dataset.iter_claims() if c.attribute in set(block)
-            )
+            block_claims = sum(claims_per_attribute[a] for a in block)
             weight = float(max(block_claims, 1))
             for source, trust in block_result.source_trust.items():
                 trust_sums[source] += weight * trust

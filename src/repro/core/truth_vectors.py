@@ -15,6 +15,14 @@ correlation — which is what TD-AC clusters.
 :class:`TruthVectorMatrix` also carries the observation mask (which ranks
 were actually covered by a claim), enabling the missing-data-aware
 distance of the paper's first research perspective.
+
+Claims are *sparse* in the ``|O| * |S|`` rank space (``density()``
+reports how sparse), so the matrix and mask are additionally exposed as
+scipy CSR operands (:meth:`TruthVectorMatrix.matrix_csr`,
+:meth:`TruthVectorMatrix.mask_csr`); the pairwise-distance layer can
+then work in ``O(nnz)`` instead of ``O(|A| * |O| * |S|)``.  Both views
+are built from the same (row, column) index arrays in one pass over the
+claims, so they are always consistent.
 """
 
 from __future__ import annotations
@@ -25,7 +33,7 @@ import numpy as np
 
 from repro.algorithms.base import TruthDiscoveryAlgorithm, TruthDiscoveryResult
 from repro.data.dataset import Dataset
-from repro.data.types import AttributeId, Fact, ObjectId, SourceId
+from repro.data.types import AttributeId, ObjectId, SourceId
 
 
 @dataclass(frozen=True)
@@ -69,6 +77,32 @@ class TruthVectorMatrix:
         """Fraction of observed ranks (1 means no missing data)."""
         return float(self.mask.mean()) if self.mask.size else 0.0
 
+    # -- sparse views ---------------------------------------------------
+
+    def matrix_csr(self):
+        """The truth-vector matrix as a float64 scipy CSR matrix.
+
+        Built lazily and cached; float64 so Gram products count exactly
+        (int8 would overflow past 127 agreements).
+        """
+        cached = self.__dict__.get("_matrix_csr")
+        if cached is None:
+            from scipy import sparse as sp
+
+            cached = sp.csr_matrix(self.matrix.astype(np.float64))
+            object.__setattr__(self, "_matrix_csr", cached)
+        return cached
+
+    def mask_csr(self):
+        """The observation mask as a float64 scipy CSR matrix."""
+        cached = self.__dict__.get("_mask_csr")
+        if cached is None:
+            from scipy import sparse as sp
+
+            cached = sp.csr_matrix(self.mask.astype(np.float64))
+            object.__setattr__(self, "_mask_csr", cached)
+        return cached
+
 
 def build_truth_vectors(
     dataset: Dataset,
@@ -79,30 +113,47 @@ def build_truth_vectors(
     ``reference`` is either a base algorithm (run here on the full
     dataset) or an already-computed result, so TD-AC can reuse one base
     run for both the vectors and comparison reporting.
+
+    One pass over the claims collects (row, column, confirmed) triplets;
+    the dense matrix and mask are then filled with two fancy-indexed
+    assignments instead of per-claim scalar writes, which is what keeps
+    vector construction off the partition-selection critical path.
     """
     if isinstance(reference, TruthDiscoveryAlgorithm):
         reference = reference.discover(dataset)
     objects = dataset.objects
     sources = dataset.sources
     attributes = dataset.attributes
-    rank_of = {
-        (o, s): i
-        for i, (o, s) in enumerate(
-            (o, s) for o in objects for s in sources
-        )
-    }
-    n_ranks = len(objects) * len(sources)
+    n_sources = len(sources)
+    n_ranks = len(objects) * n_sources
     row_of = {a: i for i, a in enumerate(attributes)}
+    # Column of rank (o, s) is object-major: base(o) + index(s).
+    column_base = {o: i * n_sources for i, o in enumerate(objects)}
+    source_index = {s: i for i, s in enumerate(sources)}
+    # Re-key the reference predictions by plain (object, attribute)
+    # tuples once, instead of constructing a Fact per claim.
+    truth_of = {
+        (fact.object, fact.attribute): value
+        for fact, value in reference.predictions.items()
+    }
+
+    rows: list[int] = []
+    columns: list[int] = []
+    confirmed: list[bool] = []
+    for (s, o, a), value in dataset.claims.items():
+        rows.append(row_of[a])
+        columns.append(column_base[o] + source_index[s])
+        truth = truth_of.get((o, a))
+        confirmed.append(truth is not None and value == truth)
+
+    row_idx = np.asarray(rows, dtype=np.intp)
+    col_idx = np.asarray(columns, dtype=np.intp)
+    hit = np.asarray(confirmed, dtype=bool)
+
     matrix = np.zeros((len(attributes), n_ranks), dtype=np.int8)
     mask = np.zeros((len(attributes), n_ranks), dtype=bool)
-    predictions = reference.predictions
-    for claim in dataset.iter_claims():
-        row = row_of[claim.attribute]
-        column = rank_of[(claim.object, claim.source)]
-        mask[row, column] = True
-        truth = predictions.get(Fact(claim.object, claim.attribute))
-        if truth is not None and claim.value == truth:
-            matrix[row, column] = 1
+    mask[row_idx, col_idx] = True
+    matrix[row_idx[hit], col_idx[hit]] = 1
     ranks = tuple((o, s) for o in objects for s in sources)
     return TruthVectorMatrix(
         matrix=matrix, mask=mask, attributes=attributes, ranks=ranks

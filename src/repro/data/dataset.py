@@ -13,6 +13,7 @@ validates the raw dictionaries and freezes them.
 from __future__ import annotations
 
 from functools import cached_property
+from types import MappingProxyType
 from typing import Iterable, Iterator, Mapping
 
 from repro.data.types import (
@@ -138,6 +139,16 @@ class Dataset:
         """Iterate over every claim in the dataset."""
         for (s, o, a), v in self._claims.items():
             yield Claim(s, o, a, v)
+
+    @property
+    def claims(self) -> Mapping[tuple[SourceId, ObjectId, AttributeId], Value]:
+        """Read-only view of the raw claim mapping.
+
+        Hot paths (truth-vector construction, claim counting) iterate
+        this directly: one dict traversal, no per-claim :class:`Claim`
+        allocation.
+        """
+        return MappingProxyType(self._claims)
 
     @cached_property
     def facts(self) -> tuple[Fact, ...]:

@@ -1,0 +1,66 @@
+"""Deterministic fan-out primitives shared across the library.
+
+Both parallel surfaces of TD-AC — the per-block solves of Algorithm 1's
+step 4 and the ``(k, init)`` restart grid of the partition-selection
+sweep — reduce to the same shape: a list of independent tasks whose
+results must be consumed **in task order** so that parallel runs stay
+bit-identical to sequential ones.  This module is dependency-free (pure
+stdlib) so every layer can import it without cycles.
+
+Backends
+--------
+``"threads"``
+    Default.  The numpy kernels doing the heavy lifting release the
+    GIL, and threads share memory, so no dataset or matrix is pickled.
+``"processes"``
+    Sidesteps the GIL for Python-bound workloads at a per-task pickling
+    cost; only worth it for coarse work units.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+BACKENDS = ("threads", "processes")
+
+
+def validate_backend(backend: str) -> str:
+    """Check ``backend`` is a known executor kind; returns it unchanged."""
+    if backend not in BACKENDS:
+        known = ", ".join(BACKENDS)
+        raise ValueError(f"unknown backend {backend!r}; known: {known}")
+    return backend
+
+
+def make_executor(n_jobs: int, backend: str = "threads") -> Executor:
+    """An executor with ``n_jobs`` workers of the requested kind."""
+    validate_backend(backend)
+    if n_jobs < 1:
+        raise ValueError("n_jobs must be at least 1")
+    if backend == "processes":
+        return ProcessPoolExecutor(max_workers=n_jobs)
+    return ThreadPoolExecutor(max_workers=n_jobs)
+
+
+def ordered_map(
+    fn: Callable[..., T],
+    tasks: Sequence[tuple],
+    n_jobs: int = 1,
+    backend: str = "threads",
+) -> list[T]:
+    """``[fn(*task) for task in tasks]``, optionally fanned out.
+
+    Results come back in task order regardless of completion order, so
+    the reduction downstream sees the same sequence a sequential run
+    produces.
+    """
+    validate_backend(backend)
+    if n_jobs == 1 or len(tasks) <= 1:
+        return [fn(*task) for task in tasks]
+    workers = min(n_jobs, len(tasks))
+    with make_executor(workers, backend) as pool:
+        futures = [pool.submit(fn, *task) for task in tasks]
+        return [future.result() for future in futures]
