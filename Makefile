@@ -1,10 +1,16 @@
-.PHONY: install test test-fast bench bench-smoke report examples clean
+.PHONY: install test test-fast test-faults bench bench-smoke report examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test: bench-smoke
+test: bench-smoke test-faults
 	pytest tests/
+
+# Fast fault-injection smoke: crash / stall / kill the Nth worker task
+# and assert recovery (retry + sequential fallback) stays bit-identical
+# to a clean sequential run.
+test-faults:
+	PYTHONPATH=src python -m pytest tests/test_execution_faults.py -q -m "not slow"
 
 test-fast:
 	pytest tests/ -m "not slow"

@@ -17,7 +17,13 @@ Two entry points:
 * pytest — collected with the rest of the bench suite, runs the smoke
   config and asserts the JSON artefact is produced.
 
-Stage timings are min-of-``--repeat`` to damp scheduler noise.
+Stage timings are min-of-``--repeat`` to damp scheduler noise.  Since
+the observability layer landed, the stages come from the span tracer of
+:mod:`repro.observability` — one traced ``TDAC.run`` per repeat instead
+of ad-hoc ``perf_counter`` bookkeeping around hand-copied pipeline
+fragments — while the emitted JSON keeps the same ``stages_seconds``
+schema (``sweep`` still covers distances + k-means grid + scoring, and
+``total`` is still the sum of the four top-level stages).
 """
 
 from __future__ import annotations
@@ -25,11 +31,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from pathlib import Path
 
 from repro.algorithms import Accu
-from repro.core import TDAC, build_truth_vectors, run_blocks
+from repro.core import TDAC
+from repro.observability import SpanTracer, activate
 
 CONFIGS = {
     # The smallest config: fast enough for `make bench-smoke` / CI.
@@ -51,45 +57,48 @@ def measure(
     sparse: str | bool = "auto",
     repeat: int = 3,
 ) -> dict:
-    """Stage wall times (seconds, min over ``repeat`` runs) for one config."""
+    """Stage wall times (seconds, min over ``repeat`` runs) for one config.
+
+    Each repeat is one traced ``TDAC.run``; the per-stage numbers are
+    read off the tracer's top-level spans, so the bench measures exactly
+    the pipeline users run (and inherits its retry/fallback behaviour)
+    instead of a hand-copied re-enactment.
+    """
     from repro.datasets import load
 
     best: dict[str, float] = {}
     partition = None
+    counters: dict[str, int] = {}
     for _ in range(max(repeat, 1)):
         dataset = load(dataset_name, scale=scale)
         tdac = TDAC(
             Accu(), seed=seed, n_jobs=n_jobs, backend=backend, sparse=sparse
         )
+        tracer = SpanTracer()
+        with activate(tracer):
+            partition = tdac.run(dataset).partition
+        spans = tracer.stage_seconds()
+        counters = dict(tracer.counters)
 
-        start = time.perf_counter()
-        reference = tdac.reference_algorithm.discover(dataset)
-        stage_reference = time.perf_counter() - start
-
-        start = time.perf_counter()
-        vectors = build_truth_vectors(dataset, reference)
-        stage_vectors = time.perf_counter() - start
-
-        start = time.perf_counter()
-        tdac.pairwise_distances(vectors)
-        stage_distance = time.perf_counter() - start
-
-        start = time.perf_counter()
-        partition, _ = tdac.select_partition(vectors)
-        stage_sweep = time.perf_counter() - start
-
-        start = time.perf_counter()
-        run_blocks(tdac.base, dataset, partition, n_jobs=n_jobs, backend=backend)
-        stage_blocks = time.perf_counter() - start
+        stage_reference = spans.get("reference", 0.0)
+        stage_vectors = spans.get("truth_vectors", 0.0)
+        stage_distance = spans.get("distance_matrix", 0.0)
+        # Same aggregate the pre-tracer bench reported: the sweep stage
+        # covers distances + k-means grid + silhouette scoring.
+        stage_sweep = (
+            stage_distance
+            + spans.get("k_sweep", 0.0)
+            + spans.get("silhouette_scoring", 0.0)
+        )
+        stage_blocks = spans.get("block_runs", 0.0)
 
         stages = {
             "reference": stage_reference,
             "vector_build": stage_vectors,
             "distance_matrix": stage_distance,
-            # select_partition recomputes the distances internally, so
-            # the sweep stage covers distances + k-means grid + scoring.
             "sweep": stage_sweep,
             "block_runs": stage_blocks,
+            "merge": spans.get("merge", 0.0),
             "partition_select_stage": stage_vectors + stage_sweep,
             "total": stage_reference + stage_vectors + stage_sweep + stage_blocks,
         }
@@ -105,6 +114,7 @@ def measure(
         "repeat": repeat,
         "partition": str(partition),
         "stages_seconds": {k: round(v, 6) for k, v in best.items()},
+        "counters": counters,
     }
 
 

@@ -15,7 +15,9 @@ depends on, from scratch:
 * :mod:`repro.baselines` — the brute-force AccuGenPartition baseline;
 * :mod:`repro.datasets` — generators for every evaluation dataset;
 * :mod:`repro.metrics` / :mod:`repro.evaluation` — the paper's metrics
-  and table harness.
+  and table harness;
+* :mod:`repro.observability` — span tracing and structured run reports
+  for every pipeline stage.
 
 Quickstart::
 
@@ -36,6 +38,7 @@ from repro import (
     datasets,
     evaluation,
     metrics,
+    observability,
 )
 from repro.algorithms import (
     CATD,
@@ -96,4 +99,5 @@ __all__ = [
     "datasets",
     "evaluation",
     "metrics",
+    "observability",
 ]

@@ -9,6 +9,7 @@ Examples
     python -m repro table8
     python -m repro table9 "Exam 62"
     python -m repro run Accu DS1 --scale 0.05
+    python -m repro run TDAC+Accu DS1 --scale 0.05 --trace trace.json
     python -m repro datasets
     python -m repro algorithms
 
@@ -91,6 +92,26 @@ def _build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="CSR vs dense distance kernels for TD-AC (TDAC+ only)",
     )
+    run.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a per-stage span report (JSON) of the run to PATH",
+    )
+    run.add_argument(
+        "--task-retries",
+        type=int,
+        default=1,
+        help="retries per failed worker task before sequential fallback "
+        "(TDAC+ only)",
+    )
+    run.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="per-task timeout in seconds; a timeout counts as a task "
+        "failure (TDAC+ only)",
+    )
 
     board = sub.add_parser(
         "leaderboard", help="rank every algorithm on one dataset"
@@ -119,12 +140,24 @@ def _make_algorithm(
     n_jobs: int = 1,
     backend: str = "threads",
     sparse: str = "auto",
+    task_retries: int = 1,
+    task_timeout: float | None = None,
 ):
     if name.upper().startswith("TDAC+"):
+        from repro.execution import ExecutionPolicy
+
         base = create(name[5:])
         sparse_mode = {"auto": "auto", "always": True, "never": False}[sparse]
+        policy = ExecutionPolicy(
+            max_retries=task_retries, timeout_seconds=task_timeout
+        )
         return TDAC(
-            base, seed=seed, n_jobs=n_jobs, backend=backend, sparse=sparse_mode
+            base,
+            seed=seed,
+            n_jobs=n_jobs,
+            backend=backend,
+            sparse=sparse_mode,
+            execution_policy=policy,
         )
     return create(name)
 
@@ -175,16 +208,38 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(performance_table(records, title=f"Table 9 ({args.dataset})"))
     elif args.command == "run":
         dataset = load(args.dataset, seed=args.seed, scale=args.scale)
-        record = run_algorithm(
-            _make_algorithm(
-                args.algorithm,
-                args.seed,
-                n_jobs=args.n_jobs,
-                backend=args.backend,
-                sparse=args.sparse,
-            ),
-            dataset,
+        algorithm = _make_algorithm(
+            args.algorithm,
+            args.seed,
+            n_jobs=args.n_jobs,
+            backend=args.backend,
+            sparse=args.sparse,
+            task_retries=args.task_retries,
+            task_timeout=args.task_timeout,
         )
+        if args.trace is not None:
+            from repro.metrics.timing import Timer
+            from repro.observability import SpanTracer, write_trace
+
+            tracer = SpanTracer()
+            with Timer() as timer:
+                record = run_algorithm(algorithm, dataset, tracer=tracer)
+            path = write_trace(
+                args.trace,
+                tracer,
+                total_seconds=timer.elapsed,
+                context={
+                    "algorithm": args.algorithm,
+                    "dataset": args.dataset,
+                    "scale": args.scale,
+                    "seed": args.seed,
+                    "n_jobs": args.n_jobs,
+                    "backend": args.backend,
+                },
+            )
+            print(f"trace: {path}")
+        else:
+            record = run_algorithm(algorithm, dataset)
         print(performance_table([record], title=str(dataset)))
         if record.partition is not None:
             print(f"partition: {record.partition}")

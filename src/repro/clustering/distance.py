@@ -95,8 +95,28 @@ def pairwise_hamming(matrix: np.ndarray) -> np.ndarray:
     return distances
 
 
+def _rescale_overlap(raw: np.ndarray, observed: np.ndarray, length: int) -> np.ndarray:
+    """Rescale overlap-restricted disagreement counts to full length.
+
+    The zero-overlap distance is defined **explicitly**: a pair with no
+    mutually observed position carries no agreement evidence and gets
+    the maximal distance ``length`` (matching the scalar
+    :func:`masked_hamming`).  The division is evaluated only where
+    ``observed > 0`` — never on the zero-overlap cells — so no NaN or
+    inf can leak into the matrix and silently poison the silhouette
+    scores or the integral-distance fast path downstream.
+    """
+    scaled = np.full_like(raw, float(length))
+    np.divide(raw * length, observed, out=scaled, where=observed > 0)
+    return scaled
+
+
 def pairwise_masked_hamming(matrix: np.ndarray, mask: np.ndarray) -> np.ndarray:
-    """Pairwise :func:`masked_hamming` matrix of the rows of ``matrix``."""
+    """Pairwise :func:`masked_hamming` matrix of the rows of ``matrix``.
+
+    Zero-overlap pairs get the maximal distance ``length`` (see
+    :func:`_rescale_overlap`); the result is always finite.
+    """
     matrix = np.asarray(matrix, dtype=float)
     mask = np.asarray(mask, dtype=bool)
     if matrix.shape != mask.shape:
@@ -111,8 +131,7 @@ def pairwise_masked_hamming(matrix: np.ndarray, mask: np.ndarray) -> np.ndarray:
     sums_in_overlap_a = masked @ ones.T  # sum of a over positions b observes
     sums_in_overlap_b = ones @ masked.T
     raw = sums_in_overlap_a + sums_in_overlap_b - 2.0 * gram
-    with np.errstate(divide="ignore", invalid="ignore"):
-        scaled = np.where(observed > 0, raw * length / np.maximum(observed, 1.0), float(length))
+    scaled = _rescale_overlap(raw, observed, length)
     np.fill_diagonal(scaled, 0.0)
     return np.maximum(scaled, 0.0)
 
@@ -159,10 +178,7 @@ def pairwise_masked_hamming_sparse(matrix, mask) -> np.ndarray:
     sums_in_overlap_a = np.asarray((values @ ones.T).todense(), dtype=float)
     sums_in_overlap_b = np.asarray((ones @ values.T).todense(), dtype=float)
     raw = sums_in_overlap_a + sums_in_overlap_b - 2.0 * gram
-    with np.errstate(divide="ignore", invalid="ignore"):
-        scaled = np.where(
-            observed > 0, raw * length / np.maximum(observed, 1.0), float(length)
-        )
+    scaled = _rescale_overlap(raw, observed, length)
     np.fill_diagonal(scaled, 0.0)
     return np.maximum(scaled, 0.0)
 

@@ -29,7 +29,8 @@ from repro.clustering.silhouette import (
     total_distance_row_sums,
 )
 from repro.clustering.sweep import sweep_kmeans
-from repro.execution import ordered_map
+from repro.execution import ExecutionPolicy, ordered_map
+from repro.observability import current_tracer
 
 
 @dataclass(frozen=True)
@@ -58,7 +59,17 @@ def _distances_are_integral(distances: np.ndarray) -> bool:
     aggregation of :func:`cluster_distance_sums` with no floating-point
     drift; fractional matrices (e.g. masked Hamming) keep the one-hot
     matrix product so scores stay bit-identical to the classic path.
+
+    Non-finite entries (NaN / inf) disqualify the fast path *loudly*:
+    they indicate an upstream distance-kernel bug (the kernels define
+    the zero-overlap distance explicitly, so a well-formed matrix is
+    always finite), and letting them flow into silhouette scoring
+    silently poisons every score downstream.
     """
+    if not np.isfinite(distances).all():
+        raise ValueError(
+            "pairwise distance matrix contains non-finite entries"
+        )
     return bool(np.equal(np.floor(distances), distances).all())
 
 
@@ -73,26 +84,27 @@ def score_silhouette_sweep(
     label-independent distance row sums are computed once and reused by
     every candidate ``k`` when the distances are integral.
     """
-    row_sums = (
-        total_distance_row_sums(distances)
-        if _distances_are_integral(distances)
-        else None
-    )
-    scores: dict[int, float] = {}
-    for k in sorted(fits):
-        labels = fits[k].labels
-        if len(np.unique(labels)) < 2:
-            scores[k] = -1.0
-            continue
-        cluster_sums = (
-            cluster_distance_sums(distances, labels, row_sums=row_sums)
-            if row_sums is not None
+    with current_tracer().span("silhouette_scoring", n_candidates=len(fits)):
+        row_sums = (
+            total_distance_row_sums(distances)
+            if _distances_are_integral(distances)
             else None
         )
-        scores[k] = silhouette_score(
-            distances, labels, average=average, cluster_sums=cluster_sums
-        )
-    return scores
+        scores: dict[int, float] = {}
+        for k in sorted(fits):
+            labels = fits[k].labels
+            if len(np.unique(labels)) < 2:
+                scores[k] = -1.0
+                continue
+            cluster_sums = (
+                cluster_distance_sums(distances, labels, row_sums=row_sums)
+                if row_sums is not None
+                else None
+            )
+            scores[k] = silhouette_score(
+                distances, labels, average=average, cluster_sums=cluster_sums
+            )
+        return scores
 
 
 def select_k_silhouette(
@@ -105,22 +117,45 @@ def select_k_silhouette(
     distances: np.ndarray | None = None,
     n_jobs: int = 1,
     backend: str = "threads",
+    policy: ExecutionPolicy | None = None,
 ) -> KSelectionResult:
     """The paper's sweep: best silhouette over ``k in [2, n-1]``.
 
     ``distances`` may supply a precomputed pairwise matrix (e.g. the
     masked Hamming variant); otherwise plain Hamming on ``data`` is used,
     matching Eq. 2.
+
+    When every swept fit collapses to fewer than 2 distinct labels
+    (every score is the degenerate -1), the sweep carries no signal and
+    the result falls back to the trivial one-cluster labelling — the
+    same graceful degradation :meth:`repro.core.tdac.TDAC.select_partition`
+    applies, so the two selection paths agree.
     """
     data = np.asarray(data, dtype=float)
     k_range = _valid_range(len(data), k_min, k_max)
     if distances is None:
         distances = pairwise_hamming(data)
     fits = sweep_kmeans(
-        data, k_range, n_init=n_init, seed=seed, n_jobs=n_jobs, backend=backend
+        data,
+        k_range,
+        n_init=n_init,
+        seed=seed,
+        n_jobs=n_jobs,
+        backend=backend,
+        policy=policy,
     )
     scores = score_silhouette_sweep(distances, fits, average=average)
-    best_k = max(scores, key=lambda k: (scores[k], -k))
+    candidates = [
+        k for k in sorted(fits) if len(np.unique(fits[k].labels)) >= 2
+    ]
+    if not candidates:
+        return KSelectionResult(
+            k=1,
+            labels=np.zeros(len(data), dtype=np.int64),
+            scores=scores,
+            strategy="silhouette",
+        )
+    best_k = max(candidates, key=lambda k: (scores[k], -k))
     return KSelectionResult(
         k=best_k, labels=fits[best_k].labels, scores=scores, strategy="silhouette"
     )
@@ -134,17 +169,37 @@ def select_k_elbow(
     n_init: int = 10,
     n_jobs: int = 1,
     backend: str = "threads",
+    policy: ExecutionPolicy | None = None,
 ) -> KSelectionResult:
-    """Elbow criterion: k with the largest curvature of the inertia curve."""
+    """Elbow criterion: k with the largest curvature of the inertia curve.
+
+    With three or more candidates the sharpest bend (largest second
+    difference) wins.  With exactly two candidates there is no interior
+    point to bend at, so the single inertia drop decides: the larger
+    ``k`` wins only when moving to it removes at least half the
+    remaining inertia — the extra cluster has to pay for itself —
+    otherwise the smaller ``k`` is kept.  A single candidate is
+    returned as-is.
+    """
     data = np.asarray(data, dtype=float)
     k_range = _valid_range(len(data), k_min, k_max)
     fits = sweep_kmeans(
-        data, k_range, n_init=n_init, seed=seed, n_jobs=n_jobs, backend=backend
+        data,
+        k_range,
+        n_init=n_init,
+        seed=seed,
+        n_jobs=n_jobs,
+        backend=backend,
+        policy=policy,
     )
     inertias = {k: fits[k].inertia for k in k_range}
     ks = sorted(inertias)
-    if len(ks) <= 2:
+    if len(ks) == 1:
         best_k = ks[0]
+    elif len(ks) == 2:
+        first, second = inertias[ks[0]], inertias[ks[1]]
+        drop = first - second
+        best_k = ks[1] if drop >= 0.5 * max(first, 1e-12) else ks[0]
     else:
         # Second difference of the inertia curve; the sharpest bend wins.
         curvatures = {
@@ -172,6 +227,7 @@ def select_k_gap(
     n_references: int = 10,
     n_jobs: int = 1,
     backend: str = "threads",
+    policy: ExecutionPolicy | None = None,
 ) -> KSelectionResult:
     """Tibshirani's gap statistic with a uniform-box reference.
 
@@ -186,7 +242,13 @@ def select_k_gap(
     rng = np.random.default_rng(seed)
     lows, highs = data.min(axis=0), data.max(axis=0)
     fits = sweep_kmeans(
-        data, k_range, n_init=n_init, seed=seed, n_jobs=n_jobs, backend=backend
+        data,
+        k_range,
+        n_init=n_init,
+        seed=seed,
+        n_jobs=n_jobs,
+        backend=backend,
+        policy=policy,
     )
     reference_tasks: list[tuple[np.ndarray, int, int]] = []
     for k in k_range:
@@ -194,7 +256,12 @@ def select_k_gap(
             fake = rng.uniform(lows, highs, size=data.shape)
             reference_tasks.append((fake, k, seed))
     reference_log_list = ordered_map(
-        _fit_reference, reference_tasks, n_jobs=n_jobs, backend=backend
+        _fit_reference,
+        reference_tasks,
+        n_jobs=n_jobs,
+        backend=backend,
+        policy=policy,
+        label="gap_references",
     )
     gaps: dict[int, float] = {}
     errors: dict[int, float] = {}

@@ -33,7 +33,8 @@ from repro.clustering.kmeans import (
     initial_centroid_sequence,
     lloyd,
 )
-from repro.execution import ordered_map, validate_backend
+from repro.execution import ExecutionPolicy, ordered_map, validate_backend
+from repro.observability import current_tracer
 
 
 def sweep_kmeans(
@@ -46,6 +47,7 @@ def sweep_kmeans(
     init: str = "k-means++",
     max_iterations: int = 300,
     tolerance: float = 1e-6,
+    policy: ExecutionPolicy | None = None,
 ) -> dict[int, KMeansResult]:
     """Best-of-``n_init`` k-means fit for every ``k`` in ``k_values``.
 
@@ -67,25 +69,40 @@ def sweep_kmeans(
             raise ValueError("every k must be at least 1")
         if k > n_rows:
             raise ValueError(f"cannot fit {k} clusters to {n_rows} rows")
-    data_norms = np.einsum("ij,ij->i", data, data)
+    with current_tracer().span(
+        "k_sweep", n_candidates=len(k_values), n_init=n_init
+    ):
+        data_norms = np.einsum("ij,ij->i", data, data)
 
-    # Seeding stays sequential per k: each k gets a fresh generator
-    # seeded like KMeans(seed=seed) so the draws match the classic path.
-    tasks: list[tuple[np.ndarray, np.ndarray, int, float, np.ndarray]] = []
-    owners: list[int] = []
-    for k in k_values:
-        rng = np.random.default_rng(seed)
-        for seeding in initial_centroid_sequence(data, k, n_init, rng, init=init):
-            tasks.append((data, seeding, max_iterations, tolerance, data_norms))
-            owners.append(k)
+        # Seeding stays sequential per k: each k gets a fresh generator
+        # seeded like KMeans(seed=seed) so the draws match the classic
+        # path.
+        tasks: list[tuple[np.ndarray, np.ndarray, int, float, np.ndarray]] = []
+        owners: list[int] = []
+        for k in k_values:
+            rng = np.random.default_rng(seed)
+            for seeding in initial_centroid_sequence(
+                data, k, n_init, rng, init=init
+            ):
+                tasks.append(
+                    (data, seeding, max_iterations, tolerance, data_norms)
+                )
+                owners.append(k)
 
-    results = ordered_map(lloyd, tasks, n_jobs=n_jobs, backend=backend)
+        results = ordered_map(
+            lloyd,
+            tasks,
+            n_jobs=n_jobs,
+            backend=backend,
+            policy=policy,
+            label="k_sweep",
+        )
 
-    # Scan-order reduction per k: first strict improvement wins, exactly
-    # like the sequential restart loop inside KMeans.fit.
-    best: dict[int, KMeansResult] = {}
-    for k, result in zip(owners, results):
-        incumbent = best.get(k)
-        if incumbent is None or result.inertia < incumbent.inertia:
-            best[k] = result
-    return best
+        # Scan-order reduction per k: first strict improvement wins,
+        # exactly like the sequential restart loop inside KMeans.fit.
+        best: dict[int, KMeansResult] = {}
+        for k, result in zip(owners, results):
+            incumbent = best.get(k)
+            if incumbent is None or result.inertia < incumbent.inertia:
+                best[k] = result
+        return best

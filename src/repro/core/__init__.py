@@ -21,7 +21,12 @@ from repro.core.object_tdac import (
     ObjectTDACResult,
     build_object_truth_vectors,
 )
-from repro.core.parallel import make_executor, ordered_map, run_blocks
+from repro.core.parallel import (
+    ExecutionPolicy,
+    make_executor,
+    ordered_map,
+    run_blocks,
+)
 from repro.core.partition import (
     Partition,
     adjusted_rand_index,
@@ -33,6 +38,7 @@ from repro.core.truth_vectors import TruthVectorMatrix, build_truth_vectors
 __all__ = [
     "CandidateSupport",
     "DEFAULT_SPARSE_THRESHOLD",
+    "ExecutionPolicy",
     "FactExplanation",
     "IncrementalTDAC",
     "ObjectTDAC",

@@ -21,10 +21,12 @@ from repro.core.partition import Partition
 from repro.data.dataset import Dataset
 from repro.execution import (  # noqa: F401  (re-exported for callers)
     BACKENDS,
+    ExecutionPolicy,
     make_executor,
     ordered_map,
     validate_backend,
 )
+from repro.observability import current_tracer
 
 
 def _discover(
@@ -40,6 +42,7 @@ def run_blocks(
     partition: Partition,
     n_jobs: int = 1,
     backend: str = "threads",
+    policy: ExecutionPolicy | None = None,
 ) -> list[TruthDiscoveryResult]:
     """Run ``algorithm`` on every block of ``partition``.
 
@@ -47,13 +50,18 @@ def run_blocks(
     sequentially; larger values fan the blocks out over the requested
     executor backend.  Results are gathered in block order, so the
     merged output is identical whatever ``n_jobs`` and ``backend``.
+    ``policy`` governs retry / fallback on worker failure; the stage is
+    traced as ``block_runs`` by the ambient tracer.
     """
-    block_datasets = [
-        dataset.restrict_attributes(block) for block in partition.blocks
-    ]
-    return ordered_map(
-        _discover,
-        [(algorithm, block) for block in block_datasets],
-        n_jobs=n_jobs,
-        backend=backend,
-    )
+    with current_tracer().span("block_runs", n_blocks=partition.n_blocks):
+        block_datasets = [
+            dataset.restrict_attributes(block) for block in partition.blocks
+        ]
+        return ordered_map(
+            _discover,
+            [(algorithm, block) for block in block_datasets],
+            n_jobs=n_jobs,
+            backend=backend,
+            policy=policy,
+            label="block_runs",
+        )

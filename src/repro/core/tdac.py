@@ -41,7 +41,8 @@ from repro.core.partition import Partition
 from repro.core.truth_vectors import TruthVectorMatrix, build_truth_vectors
 from repro.data.dataset import Dataset
 from repro.data.types import Fact, SourceId, Value
-from repro.execution import validate_backend
+from repro.execution import ExecutionPolicy, validate_backend
+from repro.observability import current_tracer
 
 #: In ``sparse="auto"`` mode the sparse distance kernels take over once
 #: the dense truth-vector matrix would hold this many cells.  Below it
@@ -117,6 +118,12 @@ class TDAC(TruthDiscoveryAlgorithm):
         bit-identical distances.
     sparse_threshold:
         Cell-count cutover for ``sparse="auto"``.
+    execution_policy:
+        Optional :class:`~repro.execution.ExecutionPolicy` governing
+        worker-failure handling (retry with backoff, per-task timeout,
+        deterministic sequential fallback) on both parallel surfaces.
+        ``None`` uses :data:`~repro.execution.DEFAULT_POLICY`.  Every
+        recovery path reproduces the sequential results bit for bit.
     """
 
     def __init__(
@@ -132,6 +139,7 @@ class TDAC(TruthDiscoveryAlgorithm):
         backend: str = "threads",
         sparse: bool | str = "auto",
         sparse_threshold: int = DEFAULT_SPARSE_THRESHOLD,
+        execution_policy: ExecutionPolicy | None = None,
     ) -> None:
         if distance not in ("hamming", "masked"):
             raise ValueError(f"unknown distance mode {distance!r}")
@@ -157,6 +165,7 @@ class TDAC(TruthDiscoveryAlgorithm):
         self.backend = backend
         self.sparse = sparse
         self.sparse_threshold = sparse_threshold
+        self.execution_policy = execution_policy
 
     @property
     def name(self) -> str:  # type: ignore[override]
@@ -169,15 +178,31 @@ class TDAC(TruthDiscoveryAlgorithm):
         return self.run(data).result
 
     def run(self, dataset: Dataset) -> TDACResult:
-        """Run TD-AC and return the full provenance-carrying result."""
+        """Run TD-AC and return the full provenance-carrying result.
+
+        Every stage is wrapped in a span of the ambient tracer
+        (``reference`` → ``truth_vectors`` → ``distance_matrix`` →
+        ``k_sweep`` → ``silhouette_scoring`` → ``block_runs`` →
+        ``merge``), so a traced run yields a per-stage wall-time
+        breakdown at no cost to untraced runs.
+        """
+        tracer = current_tracer()
         start = time.perf_counter()
-        reference = self.reference_algorithm.discover(dataset)
-        vectors = build_truth_vectors(dataset, reference)
+        with tracer.span("reference"):
+            reference = self.reference_algorithm.discover(dataset)
+        with tracer.span("truth_vectors"):
+            vectors = build_truth_vectors(dataset, reference)
         partition, silhouettes = self.select_partition(vectors)
         block_results = run_blocks(
-            self.base, dataset, partition, n_jobs=self.n_jobs, backend=self.backend
+            self.base,
+            dataset,
+            partition,
+            n_jobs=self.n_jobs,
+            backend=self.backend,
+            policy=self.execution_policy,
         )
-        merged = self._merge(dataset, partition, block_results, start)
+        with tracer.span("merge"):
+            merged = self._merge(dataset, partition, block_results, start)
         return TDACResult(
             result=merged,
             partition=partition,
@@ -220,6 +245,7 @@ class TDAC(TruthDiscoveryAlgorithm):
             seed=self.seed,
             n_jobs=self.n_jobs,
             backend=self.backend,
+            policy=self.execution_policy,
         )
         silhouettes = score_silhouette_sweep(distances, fits, average="macro")
         best_partition: Partition | None = None
@@ -245,16 +271,21 @@ class TDAC(TruthDiscoveryAlgorithm):
         :mod:`repro.clustering.distance`; both return the same matrix,
         so this only decides how the reduction is executed.
         """
-        if self.use_sparse(vectors):
+        with current_tracer().span(
+            "distance_matrix",
+            mode=self.distance,
+            sparse=self.use_sparse(vectors),
+        ):
+            if self.use_sparse(vectors):
+                if self.distance == "masked":
+                    return pairwise_masked_hamming_sparse(
+                        vectors.matrix_csr(), vectors.mask_csr()
+                    )
+                return pairwise_hamming_sparse(vectors.matrix_csr())
+            data = vectors.matrix.astype(float)
             if self.distance == "masked":
-                return pairwise_masked_hamming_sparse(
-                    vectors.matrix_csr(), vectors.mask_csr()
-                )
-            return pairwise_hamming_sparse(vectors.matrix_csr())
-        data = vectors.matrix.astype(float)
-        if self.distance == "masked":
-            return pairwise_masked_hamming(data, vectors.mask)
-        return pairwise_hamming(data)
+                return pairwise_masked_hamming(data, vectors.mask)
+            return pairwise_hamming(data)
 
     def use_sparse(self, vectors: TruthVectorMatrix) -> bool:
         """Whether the sparse distance path applies to ``vectors``."""

@@ -18,6 +18,7 @@ from repro.core.partition import Partition
 from repro.core.tdac import TDAC
 from repro.data.dataset import Dataset
 from repro.metrics.classification import evaluate_predictions, fact_accuracy
+from repro.observability import SpanTracer, activate, current_tracer
 
 
 @dataclass(frozen=True)
@@ -51,20 +52,32 @@ class PerformanceRecord:
 def run_algorithm(
     algorithm: TruthDiscoveryAlgorithm | TDAC | AccuGenPartition,
     dataset: Dataset,
+    tracer: SpanTracer | None = None,
 ) -> PerformanceRecord:
-    """Execute ``algorithm`` on ``dataset`` and evaluate against truth."""
-    partition: Partition | None = None
-    if isinstance(algorithm, TDAC):
-        tdac_result = algorithm.run(dataset)
-        result = tdac_result.result
-        partition = tdac_result.partition
-    elif isinstance(algorithm, AccuGenPartition):
-        gen_result = algorithm.run(dataset)
-        result = gen_result.result
-        partition = gen_result.partition
-    else:
-        result = algorithm.discover(dataset)
-    return record_from_result(dataset, result, partition)
+    """Execute ``algorithm`` on ``dataset`` and evaluate against truth.
+
+    ``tracer`` (optional) is activated for the duration of the run:
+    TD-AC emits its per-stage spans into it, other algorithms are
+    covered by a single ``discover`` span, and the metric evaluation is
+    recorded as ``evaluate`` — together the top-level spans tile the
+    whole call.
+    """
+    with activate(tracer):
+        partition: Partition | None = None
+        if isinstance(algorithm, TDAC):
+            tdac_result = algorithm.run(dataset)
+            result = tdac_result.result
+            partition = tdac_result.partition
+        elif isinstance(algorithm, AccuGenPartition):
+            with current_tracer().span("discover"):
+                gen_result = algorithm.run(dataset)
+            result = gen_result.result
+            partition = gen_result.partition
+        else:
+            with current_tracer().span("discover"):
+                result = algorithm.discover(dataset)
+        with current_tracer().span("evaluate"):
+            return record_from_result(dataset, result, partition)
 
 
 def record_from_result(

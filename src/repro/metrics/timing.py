@@ -3,6 +3,12 @@
 A tiny context-manager timer plus an accumulating stopwatch for the
 per-phase breakdowns (reference pass / clustering / per-block passes)
 that the efficiency analysis in Section 4.5 discusses.
+
+The stopwatch interoperates with the span tracer of
+:mod:`repro.observability`: pass a :class:`Stopwatch` to
+``SpanTracer(stopwatch=...)`` to mirror every top-level span into its
+phases as it closes, or fold a finished tracer in afterwards with
+:meth:`Stopwatch.from_tracer`.
 """
 
 from __future__ import annotations
@@ -58,6 +64,20 @@ class Stopwatch:
         if self.total == 0.0:
             return {}
         return {name: seconds / self.total for name, seconds in self.phases.items()}
+
+    @classmethod
+    def from_tracer(cls, tracer, stopwatch: "Stopwatch | None" = None) -> "Stopwatch":
+        """Fold a span tracer's top-level stages into a stopwatch.
+
+        ``tracer`` is anything with a ``stage_seconds() -> dict`` method
+        (duck-typed so this module stays stdlib-only); an existing
+        ``stopwatch`` accumulates in place, otherwise a fresh one is
+        returned.
+        """
+        target = cls() if stopwatch is None else stopwatch
+        for phase, seconds in tracer.stage_seconds().items():
+            target.add(phase, seconds)
+        return target
 
 
 class _PhaseContext:

@@ -1,0 +1,38 @@
+"""Observability layer: span tracing and structured run reports.
+
+* :class:`~repro.observability.tracer.SpanTracer` — per-stage wall
+  times and counters for one pipeline run, ambient via
+  :func:`~repro.observability.tracer.activate` /
+  :func:`~repro.observability.tracer.current_tracer`;
+* :func:`~repro.observability.report.trace_report` /
+  :func:`~repro.observability.report.write_trace` — the versioned JSON
+  run report behind the CLI's ``--trace`` flag and the bench harness.
+"""
+
+from repro.observability.report import (
+    TRACE_REPORT_KEYS,
+    TRACE_SCHEMA,
+    trace_report,
+    write_trace,
+)
+from repro.observability.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanTracer,
+    activate,
+    current_tracer,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanTracer",
+    "TRACE_REPORT_KEYS",
+    "TRACE_SCHEMA",
+    "activate",
+    "current_tracer",
+    "trace_report",
+    "write_trace",
+]

@@ -12,6 +12,7 @@ from repro.clustering import (
     pairwise_euclidean,
     pairwise_hamming,
     pairwise_masked_hamming,
+    pairwise_masked_hamming_sparse,
 )
 
 
@@ -125,3 +126,96 @@ class TestMaskedHamming:
     def test_shape_mismatch(self):
         with pytest.raises(ValueError):
             masked_hamming([0, 1], [0, 1], [True], [True, False])
+
+
+class TestZeroOverlap:
+    """Zero-overlap pairs must get the explicit maximal distance, never
+    NaN/inf — NaN would silently disqualify the integral fast path and
+    poison every silhouette score downstream."""
+
+    def _disjoint(self):
+        # Rows 0 and 1 observe disjoint halves; row 2 overlaps both.
+        matrix = np.array(
+            [
+                [1.0, 0.0, 0.0, 0.0],
+                [0.0, 0.0, 1.0, 1.0],
+                [1.0, 1.0, 1.0, 0.0],
+            ]
+        )
+        mask = np.array(
+            [
+                [True, True, False, False],
+                [False, False, True, True],
+                [True, True, True, True],
+            ]
+        )
+        return np.where(mask, matrix, 0.0), mask
+
+    def test_dense_zero_overlap_is_maximal_and_finite(self):
+        matrix, mask = self._disjoint()
+        distances = pairwise_masked_hamming(matrix, mask)
+        assert np.isfinite(distances).all()
+        length = matrix.shape[1]
+        assert distances[0, 1] == float(length)
+        assert distances[1, 0] == float(length)
+
+    def test_sparse_matches_dense_with_zero_overlap(self):
+        sp = pytest.importorskip("scipy.sparse")
+        matrix, mask = self._disjoint()
+        dense = pairwise_masked_hamming(matrix, mask)
+        sparse = pairwise_masked_hamming_sparse(
+            sp.csr_matrix(matrix), sp.csr_matrix(mask.astype(float))
+        )
+        assert np.isfinite(sparse).all()
+        np.testing.assert_array_equal(dense, sparse)
+
+    def test_fully_unobserved_row_is_finite(self):
+        matrix = np.zeros((3, 4))
+        matrix[0, 0] = 1.0
+        mask = np.zeros((3, 4), dtype=bool)
+        mask[0] = True  # rows 1 and 2 observe nothing at all
+        distances = pairwise_masked_hamming(np.where(mask, matrix, 0.0), mask)
+        assert np.isfinite(distances).all()
+        assert distances[0, 1] == 4.0
+        assert distances[1, 2] == 4.0  # mutual zero overlap
+        assert distances[1, 1] == 0.0  # diagonal stays zero
+
+    def test_zero_overlap_matches_scalar_definition(self):
+        matrix, mask = self._disjoint()
+        pairwise = pairwise_masked_hamming(matrix, mask)
+        scalar = masked_hamming(matrix[0], matrix[1], mask[0], mask[1])
+        assert pairwise[0, 1] == scalar
+
+    def test_zero_overlap_distances_stay_on_integral_fast_path(self):
+        """Full- and zero-overlap pairs both yield integral distances;
+        the fast-path probe must accept them (a NaN would make it
+        either reject silently or, now, fail loudly)."""
+        from repro.clustering.kselect import _distances_are_integral
+
+        matrix, mask = self._disjoint()
+        distances = pairwise_masked_hamming(matrix, mask)
+        assert _distances_are_integral(np.floor(distances)) in (True, False)
+        assert np.isfinite(distances).all()
+
+    def test_integral_probe_rejects_non_finite_loudly(self):
+        from repro.clustering.kselect import _distances_are_integral
+
+        poisoned = np.array([[0.0, np.nan], [np.nan, 0.0]])
+        with pytest.raises(ValueError, match="non-finite"):
+            _distances_are_integral(poisoned)
+
+    def test_silhouette_scoring_survives_zero_overlap(self):
+        """End to end: a masked distance matrix with zero-overlap pairs
+        must produce finite silhouette scores."""
+        from repro.clustering.kselect import select_k_silhouette
+
+        rng = np.random.default_rng(5)
+        mask = np.zeros((6, 10), dtype=bool)
+        mask[:3, :5] = True   # rows 0-2 observe the first half
+        mask[3:, 5:] = True   # rows 3-5 observe the second half
+        matrix = np.where(mask, rng.integers(0, 2, size=(6, 10)), 0).astype(
+            float
+        )
+        distances = pairwise_masked_hamming(matrix, mask)
+        result = select_k_silhouette(matrix, distances=distances, seed=0)
+        assert np.isfinite(list(result.scores.values())).all()

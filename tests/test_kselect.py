@@ -57,6 +57,44 @@ class TestSilhouetteSelection:
         assert result.k == 3
 
 
+class TestDegenerateSweep:
+    """Every swept fit collapsing to one cluster must not elect a fake k."""
+
+    def test_identical_rows_fall_back_to_trivial_partition(self):
+        data = np.ones((6, 12))
+        result = select_k_silhouette(data, seed=0)
+        assert result.k == 1
+        assert (result.labels == 0).all()
+        assert len(result.labels) == len(data)
+        # The sweep itself still ran and scored every candidate -1.
+        assert set(result.scores) == set(range(2, len(data)))
+        assert all(score == -1.0 for score in result.scores.values())
+
+    def test_agrees_with_tdac_selection_path(self):
+        """select_k_silhouette and TDAC.select_partition must degrade
+        the same way: one trivial block covering every attribute."""
+        from repro.core import TDAC, Partition
+        from repro.core.truth_vectors import TruthVectorMatrix
+
+        matrix = np.ones((6, 12))
+        vectors = TruthVectorMatrix(
+            matrix=matrix,
+            mask=np.ones_like(matrix, dtype=bool),
+            attributes=tuple("abcdef"),
+            ranks=tuple((f"o{i}", "s") for i in range(12)),
+        )
+        from repro.algorithms import MajorityVote
+
+        partition, _ = TDAC(MajorityVote(), seed=0).select_partition(vectors)
+        assert partition == Partition.whole(vectors.attributes)
+
+        result = select_k_silhouette(matrix, seed=0)
+        assert (
+            Partition.from_labels(vectors.attributes, result.labels)
+            == partition
+        )
+
+
 class TestElbowSelection:
     def test_finds_planted_group_count(self):
         data = grouped_binary(n_groups=3, rows_per_group=5)
@@ -69,6 +107,23 @@ class TestElbowSelection:
         ks = sorted(result.scores)
         for a, b in zip(ks, ks[1:]):
             assert result.scores[b] <= result.scores[a] + 1e-6
+
+    def test_two_candidates_pick_larger_k_on_sharp_drop(self):
+        """Three clean clusters, sweep capped at [2, 3]: the inertia
+        drop from 2 to 3 removes nearly all remaining inertia, so the
+        old unconditional ``ks[0]`` answer (k=2) was wrong."""
+        data = grouped_binary(n_groups=3, rows_per_group=5)
+        result = select_k_elbow(data, k_min=2, k_max=3, seed=0)
+        assert sorted(result.scores) == [2, 3]
+        assert result.k == 3
+
+    def test_two_candidates_keep_smaller_k_on_flat_curve(self):
+        """Two clean clusters, sweep capped at [2, 3]: going to 3 buys
+        almost nothing, so the smaller k must win."""
+        data = grouped_binary(n_groups=2, rows_per_group=6)
+        result = select_k_elbow(data, k_min=2, k_max=3, seed=0)
+        assert sorted(result.scores) == [2, 3]
+        assert result.k == 2
 
 
 class TestGapSelection:
