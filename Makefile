@@ -1,9 +1,9 @@
-.PHONY: install test test-fast test-faults bench bench-smoke report examples clean
+.PHONY: install test test-fast test-faults test-serving bench bench-smoke report examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test: bench-smoke test-faults
+test: bench-smoke test-faults test-serving
 	pytest tests/
 
 # Fast fault-injection smoke: crash / stall / kill the Nth worker task
@@ -11,6 +11,12 @@ test: bench-smoke test-faults
 # to a clean sequential run.
 test-faults:
 	PYTHONPATH=src python -m pytest tests/test_execution_faults.py -q -m "not slow"
+
+# Serving + API-stability suites plus a live `repro serve --smoke`
+# round trip (service snapshots bit-identical to an offline replay).
+test-serving:
+	PYTHONPATH=src python -m pytest tests/test_serving.py tests/test_api_stability.py -q
+	PYTHONPATH=src python -m repro serve --smoke
 
 test-fast:
 	pytest tests/ -m "not slow"

@@ -17,16 +17,26 @@ depends on, from scratch:
 * :mod:`repro.metrics` / :mod:`repro.evaluation` — the paper's metrics
   and table harness;
 * :mod:`repro.observability` — span tracing and structured run reports
-  for every pipeline stage.
+  for every pipeline stage;
+* :mod:`repro.serving` — the long-lived :class:`TruthService`:
+  micro-batched ingests, versioned snapshots, backpressure.
 
 Quickstart::
 
-    from repro import TDAC, Accu, datasets
+    from repro import TDAC, TDACConfig, Accu, datasets
 
     dataset = datasets.load("DS1", scale=0.1)
-    outcome = TDAC(Accu()).run(dataset)
+    outcome = TDAC(Accu(), config=TDACConfig(seed=0)).run(dataset)
     print(outcome.partition)            # the attribute clusters found
     print(outcome.result.predictions)   # fact -> resolved truth
+
+Serving::
+
+    from repro import Accu, TruthService
+
+    with TruthService(Accu(), dataset) as service:
+        service.ingest(new_claims, wait=True)
+        print(service.query("paris", "temp").value)
 """
 
 from repro import (
@@ -39,6 +49,7 @@ from repro import (
     evaluation,
     metrics,
     observability,
+    serving,
 )
 from repro.algorithms import (
     CATD,
@@ -59,11 +70,27 @@ from repro.algorithms import (
     TwoEstimates,
 )
 from repro.baselines import AccuGenPartition
-from repro.core import TDAC, Partition, TDACResult, build_truth_vectors
+from repro.core import (
+    RESULT_SCHEMA,
+    TDAC,
+    IncrementalTDAC,
+    Partition,
+    PartitionCache,
+    TDACConfig,
+    TDACResult,
+    build_truth_vectors,
+)
 from repro.data import Claim, Dataset, DatasetBuilder, Fact
+from repro.execution import ExecutionPolicy
+from repro.observability import SpanTracer
+from repro.serving import TruthService, TruthSnapshot
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+#: The stable public surface: every name here imports from ``repro``
+#: directly and is covered by the API-stability tests.  Additions are
+#: allowed; removals or renames require a deprecation cycle (see
+#: CHANGELOG.md).
 __all__ = [
     "Accu",
     "AccuGenPartition",
@@ -75,19 +102,27 @@ __all__ = [
     "Dataset",
     "DatasetBuilder",
     "Depen",
+    "ExecutionPolicy",
     "Fact",
+    "IncrementalTDAC",
     "Investment",
     "MajorityVote",
     "Partition",
+    "PartitionCache",
     "PooledInvestment",
+    "RESULT_SCHEMA",
     "SimpleLCA",
+    "SpanTracer",
     "Sums",
     "TDAC",
+    "TDACConfig",
     "TDACResult",
     "ThreeEstimates",
     "TruthDiscoveryAlgorithm",
     "TruthDiscoveryResult",
     "TruthFinder",
+    "TruthService",
+    "TruthSnapshot",
     "TwoEstimates",
     "__version__",
     "algorithms",
@@ -100,4 +135,5 @@ __all__ = [
     "evaluation",
     "metrics",
     "observability",
+    "serving",
 ]

@@ -57,6 +57,17 @@ class TruthDiscoveryResult:
         """Predicted value of ``fact``, or None if no source covered it."""
         return self.predictions.get(fact)
 
+    def to_dict(self) -> dict:
+        """``tdac-result/v1`` rendering (no partition provenance).
+
+        The same versioned schema is emitted by
+        :meth:`repro.core.tdac.TDACResult.to_dict` and the serving
+        layer's snapshots, so every engine serializes identically.
+        """
+        from repro.core.schema import result_to_dict
+
+        return result_to_dict(self)
+
     def __len__(self) -> int:
         return len(self.predictions)
 

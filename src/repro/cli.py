@@ -10,10 +10,21 @@ Examples
     python -m repro table9 "Exam 62"
     python -m repro run Accu DS1 --scale 0.05
     python -m repro run TDAC+Accu DS1 --scale 0.05 --trace trace.json
+    python -m repro run TDAC+Accu DS1 --scale 0.05 --json
+    python -m repro leaderboard DS1 --scale 0.05 --n-jobs 4
+    python -m repro serve --smoke
+    echo '{"op": "stats"}' | python -m repro serve MajorityVote DS1 --scale 0.05
     python -m repro datasets
     python -m repro algorithms
 
-Every subcommand prints a paper-style ASCII table to stdout.
+Every table subcommand prints a paper-style ASCII table to stdout;
+``run --json`` emits the versioned ``tdac-result/v1`` schema and
+``serve`` speaks JSON lines on stdin/stdout.
+
+The execution knobs shared by ``run``, ``leaderboard`` and ``serve``
+(``--n-jobs``, ``--backend``, ``--trace``, ``--task-retries``,
+``--task-timeout``) live on one parent parser, so the subcommands
+cannot drift apart.
 """
 
 from __future__ import annotations
@@ -24,7 +35,7 @@ from typing import Sequence
 
 from repro import algorithms as algorithm_registry
 from repro.algorithms import create
-from repro.core import TDAC
+from repro.core import TDAC, TDACConfig
 from repro.datasets import available as available_datasets
 from repro.datasets import load
 from repro.evaluation import (
@@ -39,12 +50,70 @@ from repro.evaluation import (
 )
 
 
+def _execution_parent() -> argparse.ArgumentParser:
+    """The shared execution/observability flags of run/leaderboard/serve."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("execution")
+    group.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        help="workers for TD-AC's k-sweep and per-block passes",
+    )
+    group.add_argument(
+        "--backend",
+        choices=["threads", "processes"],
+        default="threads",
+        help="executor kind behind --n-jobs",
+    )
+    group.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a per-stage span report (JSON) of the run to PATH",
+    )
+    group.add_argument(
+        "--task-retries",
+        type=int,
+        default=1,
+        help="retries per failed worker task before sequential fallback",
+    )
+    group.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="per-task timeout in seconds; a timeout counts as a task "
+        "failure",
+    )
+    return parent
+
+
+def _config_from_args(args: argparse.Namespace) -> TDACConfig:
+    """Fold the shared execution flags (+ seed/sparse) into a TDACConfig."""
+    from repro.execution import ExecutionPolicy
+
+    sparse_mode = {"auto": "auto", "always": True, "never": False}[
+        getattr(args, "sparse", "auto")
+    ]
+    return TDACConfig(
+        seed=getattr(args, "seed", 0),
+        n_jobs=args.n_jobs,
+        backend=args.backend,
+        sparse=sparse_mode,
+        execution_policy=ExecutionPolicy(
+            max_retries=args.task_retries,
+            timeout_seconds=args.task_timeout,
+        ),
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="TD-AC reproduction: regenerate the paper's tables.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    execution = _execution_parent()
 
     table4 = sub.add_parser("table4", help="Tables 4a-4c (synthetic)")
     table4.add_argument("dataset", choices=["DS1", "DS2", "DS3"])
@@ -69,23 +138,15 @@ def _build_parser() -> argparse.ArgumentParser:
     table9 = sub.add_parser("table9", help="Table 9 (real data)")
     table9.add_argument("dataset")
 
-    run = sub.add_parser("run", help="run one algorithm on one dataset")
+    run = sub.add_parser(
+        "run",
+        parents=[execution],
+        help="run one algorithm on one dataset",
+    )
     run.add_argument("algorithm", help="algorithm name, or TDAC+<base>")
     run.add_argument("dataset")
     run.add_argument("--scale", type=float, default=1.0)
     run.add_argument("--seed", type=int, default=0)
-    run.add_argument(
-        "--n-jobs",
-        type=int,
-        default=1,
-        help="workers for TD-AC's k-sweep and per-block passes (TDAC+ only)",
-    )
-    run.add_argument(
-        "--backend",
-        choices=["threads", "processes"],
-        default="threads",
-        help="executor kind behind --n-jobs (TDAC+ only)",
-    )
     run.add_argument(
         "--sparse",
         choices=["auto", "always", "never"],
@@ -93,34 +154,68 @@ def _build_parser() -> argparse.ArgumentParser:
         help="CSR vs dense distance kernels for TD-AC (TDAC+ only)",
     )
     run.add_argument(
-        "--trace",
-        metavar="PATH",
-        default=None,
-        help="write a per-stage span report (JSON) of the run to PATH",
-    )
-    run.add_argument(
-        "--task-retries",
-        type=int,
-        default=1,
-        help="retries per failed worker task before sequential fallback "
-        "(TDAC+ only)",
-    )
-    run.add_argument(
-        "--task-timeout",
-        type=float,
-        default=None,
-        help="per-task timeout in seconds; a timeout counts as a task "
-        "failure (TDAC+ only)",
+        "--json",
+        action="store_true",
+        help="emit the tdac-result/v1 JSON schema instead of a table",
     )
 
     board = sub.add_parser(
-        "leaderboard", help="rank every algorithm on one dataset"
+        "leaderboard",
+        parents=[execution],
+        help="rank every algorithm on one dataset",
     )
     board.add_argument("dataset")
     board.add_argument("--scale", type=float, default=1.0)
     board.add_argument("--seed", type=int, default=0)
     board.add_argument(
         "--no-tdac", action="store_true", help="skip the TD-AC-wrapped rows"
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        parents=[execution],
+        help="long-lived micro-batching truth service (JSON lines on stdin)",
+    )
+    serve.add_argument(
+        "algorithm", nargs="?", default="MajorityVote",
+        help="base algorithm for every refit",
+    )
+    serve.add_argument(
+        "dataset", nargs="?", default="DS1", help="initial corpus to serve"
+    )
+    serve.add_argument("--scale", type=float, default=0.05)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--refit",
+        choices=["full", "incremental"],
+        default="full",
+        help="full = every snapshot bit-identical to offline TDAC.run; "
+        "incremental = touched-block refreshes only",
+    )
+    serve.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=64,
+        help="claim-count target per micro-batch",
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=10.0,
+        help="linger for stragglers after a batch's first ticket",
+    )
+    serve.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=1024,
+        help="pending-claim bound; admissions beyond it are rejected "
+        "with a retry-after hint",
+    )
+    serve.add_argument(
+        "--smoke",
+        action="store_true",
+        help="self-driving ingest/query round trip asserting snapshot "
+        "bit-identity; exits non-zero on mismatch",
     )
 
     sub.add_parser("datasets", help="list available datasets")
@@ -134,31 +229,9 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _make_algorithm(
-    name: str,
-    seed: int,
-    n_jobs: int = 1,
-    backend: str = "threads",
-    sparse: str = "auto",
-    task_retries: int = 1,
-    task_timeout: float | None = None,
-):
+def _make_algorithm(name: str, config: TDACConfig):
     if name.upper().startswith("TDAC+"):
-        from repro.execution import ExecutionPolicy
-
-        base = create(name[5:])
-        sparse_mode = {"auto": "auto", "always": True, "never": False}[sparse]
-        policy = ExecutionPolicy(
-            max_retries=task_retries, timeout_seconds=task_timeout
-        )
-        return TDAC(
-            base,
-            seed=seed,
-            n_jobs=n_jobs,
-            backend=backend,
-            sparse=sparse_mode,
-            execution_policy=policy,
-        )
+        return TDAC(create(name[5:]), config=config)
     return create(name)
 
 
@@ -208,15 +281,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(performance_table(records, title=f"Table 9 ({args.dataset})"))
     elif args.command == "run":
         dataset = load(args.dataset, seed=args.seed, scale=args.scale)
-        algorithm = _make_algorithm(
-            args.algorithm,
-            args.seed,
-            n_jobs=args.n_jobs,
-            backend=args.backend,
-            sparse=args.sparse,
-            task_retries=args.task_retries,
-            task_timeout=args.task_timeout,
-        )
+        algorithm = _make_algorithm(args.algorithm, _config_from_args(args))
+        if args.json:
+            import json
+
+            if isinstance(algorithm, TDAC):
+                payload = algorithm.run(dataset).to_dict()
+            else:
+                payload = algorithm.discover(dataset).to_dict()
+            print(json.dumps(payload, sort_keys=True, default=str))
+            return 0
         if args.trace is not None:
             from repro.metrics.timing import Timer
             from repro.observability import SpanTracer, write_trace
@@ -247,9 +321,25 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.evaluation.leaderboard import leaderboard
 
         dataset = load(args.dataset, seed=args.seed, scale=args.scale)
-        entries = leaderboard(
-            dataset, include_tdac=not args.no_tdac, seed=args.seed
-        )
+        config = _config_from_args(args)
+        if args.trace is not None:
+            from repro.observability import SpanTracer, activate, write_trace
+
+            tracer = SpanTracer()
+            with activate(tracer):
+                entries = leaderboard(
+                    dataset, include_tdac=not args.no_tdac, config=config
+                )
+            path = write_trace(
+                args.trace,
+                tracer,
+                context={"command": "leaderboard", "dataset": args.dataset},
+            )
+            print(f"trace: {path}")
+        else:
+            entries = leaderboard(
+                dataset, include_tdac=not args.no_tdac, config=config
+            )
         from repro.evaluation.tables import PERFORMANCE_HEADER
 
         print(
@@ -259,6 +349,45 @@ def main(argv: Sequence[str] | None = None) -> int:
                 title=f"Leaderboard: {dataset}",
             )
         )
+    elif args.command == "serve":
+        from repro.serving import PartitionCache, TruthService, run_smoke, serve_jsonl
+
+        if args.smoke:
+            return run_smoke(args.algorithm, seed=args.seed)
+        dataset = load(args.dataset, seed=args.seed, scale=args.scale)
+        tracer = None
+        if args.trace is not None:
+            from repro.observability import SpanTracer
+
+            tracer = SpanTracer()
+        service = TruthService(
+            create(args.algorithm),
+            dataset,
+            config=_config_from_args(args),
+            refit=args.refit,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+            queue_capacity=args.queue_capacity,
+            partition_cache=PartitionCache(),
+            tracer=tracer,
+        )
+        with service:
+            code = serve_jsonl(service, sys.stdin, sys.stdout)
+        if tracer is not None:
+            from repro.observability import write_trace
+
+            path = write_trace(
+                args.trace,
+                tracer,
+                context={
+                    "command": "serve",
+                    "algorithm": args.algorithm,
+                    "dataset": args.dataset,
+                    "refit": args.refit,
+                },
+            )
+            print(f"trace: {path}", file=sys.stderr)
+        return code
     elif args.command == "report":
         from repro.evaluation.report import write_report
 

@@ -8,6 +8,12 @@
   optionally parallel.
 """
 
+from repro.core.cache import PartitionCache
+from repro.core.config import (
+    DEFAULT_SPARSE_THRESHOLD,
+    RESULT_AFFECTING_FIELDS,
+    TDACConfig,
+)
 from repro.core.explain import (
     CandidateSupport,
     FactExplanation,
@@ -15,7 +21,7 @@ from repro.core.explain import (
     explain_fact,
     explain_partition,
 )
-from repro.core.incremental import IncrementalTDAC
+from repro.core.incremental import IncrementalTDAC, extend_dataset
 from repro.core.object_tdac import (
     ObjectTDAC,
     ObjectTDACResult,
@@ -32,7 +38,8 @@ from repro.core.partition import (
     adjusted_rand_index,
     rand_index,
 )
-from repro.core.tdac import DEFAULT_SPARSE_THRESHOLD, TDAC, TDACResult
+from repro.core.schema import RESULT_SCHEMA, RESULT_SCHEMA_KEYS, result_to_dict
+from repro.core.tdac import TDAC, TDACResult
 from repro.core.truth_vectors import TruthVectorMatrix, build_truth_vectors
 
 __all__ = [
@@ -44,8 +51,13 @@ __all__ = [
     "ObjectTDAC",
     "ObjectTDACResult",
     "Partition",
+    "PartitionCache",
     "PartitionExplanation",
+    "RESULT_AFFECTING_FIELDS",
+    "RESULT_SCHEMA",
+    "RESULT_SCHEMA_KEYS",
     "TDAC",
+    "TDACConfig",
     "TDACResult",
     "TruthVectorMatrix",
     "adjusted_rand_index",
@@ -53,8 +65,10 @@ __all__ = [
     "build_truth_vectors",
     "explain_fact",
     "explain_partition",
+    "extend_dataset",
     "make_executor",
     "ordered_map",
     "rand_index",
+    "result_to_dict",
     "run_blocks",
 ]

@@ -1,0 +1,78 @@
+"""Thread-safe LRU cache for selected partitions.
+
+Partition selection — distance matrix, ``(k, init)`` restart grid,
+silhouette scoring — dominates a TD-AC run, yet its output is a pure
+function of the truth-vector input and the result-affecting config
+knobs.  :class:`PartitionCache` memoizes that function across runs:
+keys are ``(dataset fingerprint, reference algorithm name, config
+fingerprint)`` triples, values are the selected
+:class:`~repro.core.partition.Partition` plus its silhouette sweep.
+
+The cache is deliberately *correctness-neutral*: a hit replays a
+partition that the very same (dataset, reference, config) triple is
+guaranteed to re-derive, so cached and uncached runs are bit-identical.
+The serving layer shares one cache across service restarts so repeated
+cold starts on the same corpus skip straight to the per-block solves.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Mapping
+
+from repro.core.partition import Partition
+
+#: Cache keys: (dataset fingerprint, reference algorithm name, config
+#: fingerprint).
+CacheKey = tuple[str, str, str]
+
+#: Cache values: the selected partition and its silhouette-by-k sweep.
+CacheEntry = tuple[Partition, Mapping[int, float]]
+
+
+class PartitionCache:
+    """A bounded, thread-safe LRU of partition-selection outcomes."""
+
+    def __init__(self, max_entries: int = 32) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[CacheKey, CacheEntry] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: CacheKey) -> CacheEntry | None:
+        """The cached entry for ``key`` (refreshing recency), or None."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def put(self, key: CacheKey, partition: Partition,
+            silhouette_by_k: Mapping[int, float]) -> None:
+        """Insert / refresh ``key``, evicting the least recent on overflow."""
+        with self._lock:
+            self._entries[key] = (partition, dict(silhouette_by_k))
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Hit / miss / size counters (monotone except ``size``)."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "size": len(self._entries),
+            }

@@ -22,6 +22,8 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.algorithms.base import TruthDiscoveryAlgorithm, TruthDiscoveryResult
+from repro.core.cache import PartitionCache
+from repro.core.config import TDACConfig
 from repro.core.partition import Partition
 from repro.core.tdac import TDAC, TDACResult
 from repro.data.builder import DatasetBuilder
@@ -40,21 +42,38 @@ class IncrementalTDAC:
         When the claims added since the last full fit exceed this
         fraction of the current dataset size, the partition is deemed
         stale and the next update runs a full re-fit.
+    config:
+        :class:`~repro.core.config.TDACConfig` for the underlying
+        :class:`TDAC` (``None`` means all defaults).
+    partition_cache:
+        Optional :class:`~repro.core.cache.PartitionCache` shared with
+        the underlying :class:`TDAC`, so repeated full fits over the
+        same accumulated dataset replay their partition.
     tdac_kwargs:
-        Forwarded to the underlying :class:`TDAC` (seed, distance, ...).
+        Legacy per-knob spelling (``seed=``, ``distance=``, ...); folded
+        into a :class:`TDACConfig`.  Mutually exclusive with ``config``.
     """
 
     def __init__(
         self,
         base: TruthDiscoveryAlgorithm,
         repartition_fraction: float = 0.2,
+        config: TDACConfig | None = None,
+        partition_cache: PartitionCache | None = None,
         **tdac_kwargs,
     ) -> None:
         if not 0.0 < repartition_fraction <= 1.0:
             raise ValueError("repartition_fraction must be in (0, 1]")
+        if tdac_kwargs and config is not None:
+            raise TypeError(
+                "pass knobs through config=TDACConfig(...) or as legacy "
+                "keywords, not both"
+            )
+        if tdac_kwargs:
+            config = TDACConfig(**tdac_kwargs)
         self.base = base
         self.repartition_fraction = repartition_fraction
-        self._tdac = TDAC(base, **tdac_kwargs)
+        self._tdac = TDAC(base, config=config, partition_cache=partition_cache)
         self._dataset: Dataset | None = None
         self._partition: Partition | None = None
         self._block_results: dict[tuple, TruthDiscoveryResult] = {}
@@ -63,6 +82,11 @@ class IncrementalTDAC:
         self._n_block_refreshes = 0
 
     # ------------------------------------------------------------------
+
+    @property
+    def config(self) -> TDACConfig:
+        """The config of the underlying :class:`TDAC`."""
+        return self._tdac.config
 
     @property
     def dataset(self) -> Dataset:
@@ -105,7 +129,7 @@ class IncrementalTDAC:
         batch = list(claims)
         if not batch:
             return self._merged()
-        self._dataset = _extend(self._dataset, batch)
+        self._dataset = extend_dataset(self._dataset, batch)
         self._claims_since_fit += len(batch)
 
         stale = self._claims_since_fit > (
@@ -176,8 +200,16 @@ class IncrementalTDAC:
             raise RuntimeError("call fit() before update()")
 
 
-def _extend(dataset: Dataset, claims: list[Claim]) -> Dataset:
-    """Return ``dataset`` plus ``claims`` (one-truth conflicts raise)."""
+def extend_dataset(dataset: Dataset, claims: Iterable[Claim]) -> Dataset:
+    """Return ``dataset`` plus ``claims`` (one-truth conflicts raise).
+
+    The single claim-accumulation routine shared by the incremental
+    engine and the serving layer: identifier declaration order is
+    preserved and new identifiers append in claim order, so replaying
+    the same claim sequence always rebuilds a fingerprint-identical
+    dataset (the property the serving bit-identity guarantee rests on).
+    """
+    claims = list(claims)
     builder = DatasetBuilder(name=dataset.name)
     builder.declare_sources(dataset.sources)
     builder.declare_objects(dataset.objects)

@@ -21,6 +21,7 @@ parallel (the paper's second research perspective).
 from __future__ import annotations
 
 import time
+import warnings
 from collections import Counter
 from dataclasses import dataclass
 from typing import Mapping
@@ -36,20 +37,19 @@ from repro.clustering.distance import (
 )
 from repro.clustering.kselect import score_silhouette_sweep
 from repro.clustering.sweep import sweep_kmeans
+from repro.core.cache import PartitionCache
+from repro.core.config import (
+    CONFIG_FIELD_NAMES,
+    DEFAULT_SPARSE_THRESHOLD,
+    TDACConfig,
+)
 from repro.core.parallel import run_blocks
 from repro.core.partition import Partition
 from repro.core.truth_vectors import TruthVectorMatrix, build_truth_vectors
 from repro.data.dataset import Dataset
 from repro.data.types import Fact, SourceId, Value
-from repro.execution import ExecutionPolicy, validate_backend
+from repro.execution import ExecutionPolicy
 from repro.observability import current_tracer
-
-#: In ``sparse="auto"`` mode the sparse distance kernels take over once
-#: the dense truth-vector matrix would hold this many cells.  Below it
-#: the dense BLAS path is faster; either path returns bit-identical
-#: distances (binary operands make every Gram count exact), so the
-#: threshold is purely a performance knob.
-DEFAULT_SPARSE_THRESHOLD = 500_000
 
 
 @dataclass(frozen=True)
@@ -83,6 +83,16 @@ class TDACResult:
         """Number of blocks of the selected partition."""
         return self.partition.n_blocks
 
+    def to_dict(self) -> dict:
+        """``tdac-result/v1`` rendering with partition provenance."""
+        from repro.core.schema import result_to_dict
+
+        return result_to_dict(
+            self.result,
+            partition=self.partition,
+            silhouette_by_k=self.silhouette_by_k,
+        )
+
 
 class TDAC(TruthDiscoveryAlgorithm):
     """Truth Discovery with Attribute Clustering.
@@ -95,77 +105,99 @@ class TDAC(TruthDiscoveryAlgorithm):
     reference:
         Optional distinct algorithm for the reference truth pass
         (ablation A-3); defaults to ``base``.
-    distance:
-        ``"hamming"`` (Eq. 2, the paper's choice) or ``"masked"`` — the
-        missing-data-aware variant of the paper's perspective (i).
-    k_min / k_max:
-        Sweep bounds; defaults follow Algorithm 1's ``[2, |A| - 1]``.
-    n_init / seed:
-        k-means restart count and determinism seed.
-    n_jobs:
-        Worker count for both parallel surfaces: the ``(k, init)``
-        restart grid of the selection sweep and the per-block passes of
-        step 4.  1 runs sequentially; any value produces bit-identical
-        results.
-    backend:
-        ``"threads"`` (default; numpy kernels release the GIL) or
-        ``"processes"`` for Python-bound base algorithms.
-    sparse:
-        ``"auto"`` (default), ``True`` or ``False`` — whether the
-        pairwise distances are computed on CSR truth vectors.  Auto
-        switches to sparse once the dense matrix reaches
-        ``sparse_threshold`` cells.  Dense and sparse kernels return
-        bit-identical distances.
-    sparse_threshold:
-        Cell-count cutover for ``sparse="auto"``.
-    execution_policy:
-        Optional :class:`~repro.execution.ExecutionPolicy` governing
-        worker-failure handling (retry with backoff, per-task timeout,
-        deterministic sequential fallback) on both parallel surfaces.
-        ``None`` uses :data:`~repro.execution.DEFAULT_POLICY`.  Every
-        recovery path reproduces the sequential results bit for bit.
+    config:
+        A :class:`~repro.core.config.TDACConfig` carrying every tuning
+        knob (distance, sweep bounds, restarts/seed, parallelism,
+        sparsity, execution policy).  ``None`` means all defaults.
+    partition_cache:
+        Optional :class:`~repro.core.cache.PartitionCache`.  When given,
+        :meth:`run` keys the partition-selection stage on the dataset's
+        content fingerprint, the reference algorithm's name and the
+        config fingerprint; a hit skips the distance matrix, the
+        ``(k, init)`` sweep and the silhouette scoring while staying
+        bit-identical (selection is deterministic in that key).
+    **legacy_knobs:
+        The pre-1.1 per-knob keyword arguments (``distance=``,
+        ``seed=``, ``n_jobs=``, ...).  Deprecated: they emit a single
+        :class:`DeprecationWarning` and are folded into an equivalent
+        :class:`TDACConfig`, so results are bit-identical to the
+        ``config=`` spelling.  Mutually exclusive with ``config``.
     """
 
     def __init__(
         self,
         base: TruthDiscoveryAlgorithm,
         reference: TruthDiscoveryAlgorithm | None = None,
-        distance: str = "hamming",
-        k_min: int = 2,
-        k_max: int | None = None,
-        n_init: int = 10,
-        seed: int = 0,
-        n_jobs: int = 1,
-        backend: str = "threads",
-        sparse: bool | str = "auto",
-        sparse_threshold: int = DEFAULT_SPARSE_THRESHOLD,
-        execution_policy: ExecutionPolicy | None = None,
+        config: TDACConfig | None = None,
+        partition_cache: PartitionCache | None = None,
+        **legacy_knobs,
     ) -> None:
-        if distance not in ("hamming", "masked"):
-            raise ValueError(f"unknown distance mode {distance!r}")
-        if k_min < 2:
-            raise ValueError("k_min must be at least 2")
-        if n_jobs < 1:
-            raise ValueError("n_jobs must be at least 1")
-        validate_backend(backend)
-        if sparse not in (True, False, "auto"):
-            raise ValueError(
-                f"sparse must be True, False or 'auto', got {sparse!r}"
+        unknown = set(legacy_knobs) - set(CONFIG_FIELD_NAMES)
+        if unknown:
+            raise TypeError(
+                f"TDAC() got unexpected keyword arguments {sorted(unknown)}"
             )
-        if sparse_threshold < 0:
-            raise ValueError("sparse_threshold must be non-negative")
+        if legacy_knobs:
+            if config is not None:
+                raise TypeError(
+                    "pass knobs through config=TDACConfig(...) or as legacy "
+                    "keywords, not both"
+                )
+            warnings.warn(
+                "per-knob TDAC keyword arguments "
+                f"({', '.join(sorted(legacy_knobs))}) are deprecated; pass "
+                "config=TDACConfig(...) instead (results are identical)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = TDACConfig(**legacy_knobs)
+        self.config = config if config is not None else TDACConfig()
         self.base = base
         self.reference_algorithm = reference if reference is not None else base
-        self.distance = distance
-        self.k_min = k_min
-        self.k_max = k_max
-        self.n_init = n_init
-        self.seed = seed
-        self.n_jobs = n_jobs
-        self.backend = backend
-        self.sparse = sparse
-        self.sparse_threshold = sparse_threshold
-        self.execution_policy = execution_policy
+        self.partition_cache = partition_cache
+
+    # Read-only per-knob views, kept so call sites (and the method bodies
+    # below) written against the pre-config API keep working unchanged.
+
+    @property
+    def distance(self) -> str:
+        return self.config.distance
+
+    @property
+    def k_min(self) -> int:
+        return self.config.k_min
+
+    @property
+    def k_max(self) -> int | None:
+        return self.config.k_max
+
+    @property
+    def n_init(self) -> int:
+        return self.config.n_init
+
+    @property
+    def seed(self) -> int:
+        return self.config.seed
+
+    @property
+    def n_jobs(self) -> int:
+        return self.config.n_jobs
+
+    @property
+    def backend(self) -> str:
+        return self.config.backend
+
+    @property
+    def sparse(self) -> bool | str:
+        return self.config.sparse
+
+    @property
+    def sparse_threshold(self) -> int:
+        return self.config.sparse_threshold
+
+    @property
+    def execution_policy(self) -> ExecutionPolicy | None:
+        return self.config.execution_policy
 
     @property
     def name(self) -> str:  # type: ignore[override]
@@ -192,7 +224,7 @@ class TDAC(TruthDiscoveryAlgorithm):
             reference = self.reference_algorithm.discover(dataset)
         with tracer.span("truth_vectors"):
             vectors = build_truth_vectors(dataset, reference)
-        partition, silhouettes = self.select_partition(vectors)
+        partition, silhouettes = self._select_with_cache(dataset, vectors)
         block_results = run_blocks(
             self.base,
             dataset,
@@ -212,7 +244,60 @@ class TDAC(TruthDiscoveryAlgorithm):
             truth_vectors=vectors,
         )
 
+    def run_partitioned(
+        self, dataset: Dataset, partition: Partition
+    ) -> tuple[TruthDiscoveryResult, tuple[TruthDiscoveryResult, ...]]:
+        """Step 4 only: solve every block of a known ``partition`` and merge.
+
+        Used by callers that already hold a partition (the serving layer
+        on a warm cache, ablations with forced partitions).  Produces
+        exactly the merged result :meth:`run` would emit for the same
+        partition — :meth:`_merge` does not read the reference pass.
+        """
+        start = time.perf_counter()
+        block_results = run_blocks(
+            self.base,
+            dataset,
+            partition,
+            n_jobs=self.n_jobs,
+            backend=self.backend,
+            policy=self.execution_policy,
+        )
+        with current_tracer().span("merge"):
+            merged = self._merge(dataset, partition, block_results, start)
+        return merged, tuple(block_results)
+
     # ------------------------------------------------------------------
+
+    def _select_with_cache(
+        self, dataset: Dataset, vectors: TruthVectorMatrix
+    ) -> tuple[Partition, dict[int, float]]:
+        """Partition selection, memoized through ``partition_cache``.
+
+        The key pins everything the selection depends on: the dataset
+        content, the reference algorithm that shaped the truth vectors,
+        and the result-affecting config knobs.  Selection is
+        deterministic in that key, so replaying a cached partition is
+        bit-identical to recomputing it.
+        """
+        cache = self.partition_cache
+        if cache is None:
+            return self.select_partition(vectors)
+        tracer = current_tracer()
+        key = (
+            dataset.fingerprint,
+            self.reference_algorithm.name,
+            self.config.fingerprint(),
+        )
+        hit = cache.get(key)
+        if hit is not None:
+            tracer.count("partition_cache.hits")
+            partition, silhouettes = hit
+            return partition, dict(silhouettes)
+        tracer.count("partition_cache.misses")
+        partition, silhouettes = self.select_partition(vectors)
+        cache.put(key, partition, silhouettes)
+        return partition, silhouettes
 
     def select_partition(
         self, vectors: TruthVectorMatrix

@@ -12,6 +12,7 @@ validates the raw dictionaries and freezes them.
 
 from __future__ import annotations
 
+import hashlib
 from functools import cached_property
 from types import MappingProxyType
 from typing import Iterable, Iterator, Mapping
@@ -117,6 +118,26 @@ class Dataset:
 
     def __len__(self) -> int:
         return len(self._claims)
+
+    @cached_property
+    def fingerprint(self) -> str:
+        """Stable content digest of the dataset's discovery-relevant state.
+
+        Covers the source / object / attribute identifier tuples (order
+        included — attribute order shapes truth vectors) and every claim;
+        the display name and the evaluation-only ground truth are
+        excluded, so renaming or re-annotating a dataset does not change
+        its identity.  Used as the dataset half of partition-cache and
+        serving-snapshot keys.
+        """
+        hasher = hashlib.sha256()
+        for part in (self._sources, self._objects, self._attributes):
+            hasher.update(repr(part).encode("utf-8"))
+            hasher.update(b"\x1e")
+        for key in sorted(self._claims, key=repr):
+            hasher.update(repr((key, self._claims[key])).encode("utf-8"))
+            hasher.update(b"\x1f")
+        return hasher.hexdigest()
 
     def __repr__(self) -> str:
         return (

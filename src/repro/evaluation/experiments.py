@@ -22,6 +22,7 @@ from repro.algorithms import (
 from repro.algorithms.base import TruthDiscoveryAlgorithm
 from repro.baselines.gen_partition import AccuGenPartition
 from repro.core.partition import Partition
+from repro.core.config import TDACConfig
 from repro.core.tdac import TDAC
 from repro.data.dataset import Dataset
 from repro.data.stats import DatasetStats, dataset_stats
@@ -61,7 +62,9 @@ def table4_experiment(
         for weighting in ("max", "avg", "oracle"):
             baseline = AccuGenPartition(Accu(), weighting=weighting)
             records.append(run_algorithm(baseline, gen_dataset))
-    records.append(run_algorithm(TDAC(Accu(), seed=seed), dataset))
+    records.append(
+        run_algorithm(TDAC(Accu(), config=TDACConfig(seed=seed)), dataset)
+    )
     return records
 
 
@@ -112,7 +115,7 @@ def table5_experiment(
                 result.partition,
             )
         )
-    tdac_result = TDAC(Accu(), seed=seed).run(dataset)
+    tdac_result = TDAC(Accu(), config=TDACConfig(seed=seed)).run(dataset)
     rows.append(PartitionRow("TD-AC (F=Accu)", dataset_name, tdac_result.partition))
     return rows
 
@@ -160,8 +163,8 @@ def _pairwise_records(
     """Accu / TD-AC(F=Accu) / TruthFinder / TD-AC(F=TruthFinder)."""
     algorithms: list[TruthDiscoveryAlgorithm | TDAC] = [
         Accu(),
-        TDAC(Accu(), seed=seed),
+        TDAC(Accu(), config=TDACConfig(seed=seed)),
         TruthFinder(),
-        TDAC(TruthFinder(), seed=seed),
+        TDAC(TruthFinder(), config=TDACConfig(seed=seed)),
     ]
     return [run_algorithm(algorithm, dataset) for algorithm in algorithms]

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.algorithms.registry import available, create
+from repro.core.config import TDACConfig
 from repro.core.tdac import TDAC
 from repro.data.dataset import Dataset
 from repro.evaluation.runner import PerformanceRecord, run_algorithm
@@ -33,20 +34,25 @@ def leaderboard(
     include_tdac: bool = True,
     algorithms: Sequence[str] | None = None,
     seed: int = 0,
+    config: TDACConfig | None = None,
 ) -> list[LeaderboardEntry]:
     """Run the registry on ``dataset`` and rank by accuracy.
 
     ``algorithms`` restricts to a subset of registry names; by default
     every registered algorithm runs, each optionally also wrapped in
-    TD-AC.  Ties rank by precision, then by wall time (faster first).
+    TD-AC.  ``config`` carries the TD-AC knobs (parallelism, policy,
+    ...) for the wrapped rows; ``seed`` is honored only when no config
+    is given.  Ties rank by precision, then by wall time (faster
+    first).
     """
+    tdac_config = config if config is not None else TDACConfig(seed=seed)
     names = tuple(algorithms) if algorithms is not None else available()
     records: list[PerformanceRecord] = []
     for name in names:
         records.append(run_algorithm(create(name), dataset))
         if include_tdac:
             records.append(
-                run_algorithm(TDAC(create(name), seed=seed), dataset)
+                run_algorithm(TDAC(create(name), config=tdac_config), dataset)
             )
     ranked = sorted(
         records,

@@ -53,7 +53,7 @@ def sweep(
     """Evaluate every grid configuration on every dataset.
 
     ``wrapper`` optionally lifts each configured algorithm into another
-    runner (e.g. ``lambda base: TDAC(base, seed=0)``); the wrapped object
+    runner (e.g. ``lambda base: TDAC(base, config=TDACConfig(seed=0))``); the wrapped object
     must expose ``discover`` or ``run`` returning predictions.
     """
     records: list[SweepRecord] = []

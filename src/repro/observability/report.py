@@ -19,7 +19,9 @@ from repro.observability.tracer import SpanTracer
 #: Version tag embedded in every report; bump on breaking schema change.
 TRACE_SCHEMA = "tdac-trace/v1"
 
-#: Keys every trace report carries, in emission order.
+#: Keys every trace report carries, in emission order.  ``gauges`` is a
+#: v1-additive key (level-style samples: queue depth, batch occupancy);
+#: consumers of older reports can treat it as absent-means-empty.
 TRACE_REPORT_KEYS = (
     "schema",
     "total_seconds",
@@ -28,6 +30,7 @@ TRACE_REPORT_KEYS = (
     "stage_coverage",
     "spans",
     "counters",
+    "gauges",
     "context",
 )
 
@@ -60,6 +63,7 @@ def trace_report(
         "stage_coverage": (stage_sum / total) if total > 0 else 1.0,
         "spans": [span.as_dict() for span in tracer.spans],
         "counters": dict(tracer.counters),
+        "gauges": {name: dict(state) for name, state in tracer.gauges.items()},
         "context": dict(context or {}),
     }
 

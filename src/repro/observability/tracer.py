@@ -69,6 +69,7 @@ class SpanTracer:
     def __init__(self, stopwatch: Any | None = None) -> None:
         self.spans: list[Span] = []
         self.counters: dict[str, int] = {}
+        self.gauges: dict[str, dict[str, float]] = {}
         self._stack: list[str] = []
         self._stopwatch = stopwatch
 
@@ -97,6 +98,23 @@ class SpanTracer:
     def count(self, name: str, n: int = 1) -> None:
         """Add ``n`` to the named counter."""
         self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record an instantaneous sample of the named gauge.
+
+        Counters only accumulate; gauges capture level-style quantities
+        (queue depth, batch occupancy).  The tracer keeps the last and
+        maximum sample plus the sample count per gauge — enough for the
+        report without storing every observation.
+        """
+        state = self.gauges.get(name)
+        value = float(value)
+        if state is None:
+            self.gauges[name] = {"last": value, "max": value, "samples": 1}
+        else:
+            state["last"] = value
+            state["max"] = max(state["max"], value)
+            state["samples"] += 1
 
     # ------------------------------------------------------------------
 
@@ -143,6 +161,9 @@ class NullTracer(SpanTracer):
         yield
 
     def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
         pass
 
 

@@ -1,0 +1,45 @@
+"""Serving layer: a long-lived, micro-batching truth discovery engine.
+
+The ROADMAP's production framing — heavy query traffic over a stream of
+claims — needs more than one-shot ``TDAC.run`` calls.  This package
+provides it:
+
+* :class:`~repro.serving.service.TruthService` — thread-safe
+  query/ingest API with an admission queue, a micro-batcher
+  (``max_batch_size`` / ``max_wait_ms``), bounded-queue backpressure and
+  ``serve.*`` span/counter/gauge instrumentation;
+* :class:`~repro.serving.snapshot.TruthSnapshot` — immutable,
+  monotonically versioned read views with a claims-seen watermark and
+  staleness metadata, each (in the default full-refit mode)
+  bit-identical to an offline ``TDAC.run`` over the claims at its
+  watermark;
+* :class:`~repro.core.cache.PartitionCache` (re-exported) — the shared
+  LRU that lets repeated cold starts replay selected partitions;
+* :mod:`~repro.serving.frontend` — the JSON-lines driver behind the
+  ``repro serve`` CLI subcommand and its ``--smoke`` round trip.
+"""
+
+from repro.core.cache import PartitionCache
+from repro.serving.frontend import run_smoke, serve_jsonl
+from repro.serving.service import (
+    IngestTicket,
+    QueryAnswer,
+    REFIT_MODES,
+    ServiceOverloadedError,
+    ServiceStoppedError,
+    TruthService,
+)
+from repro.serving.snapshot import TruthSnapshot
+
+__all__ = [
+    "IngestTicket",
+    "PartitionCache",
+    "QueryAnswer",
+    "REFIT_MODES",
+    "ServiceOverloadedError",
+    "ServiceStoppedError",
+    "TruthService",
+    "TruthSnapshot",
+    "run_smoke",
+    "serve_jsonl",
+]

@@ -1,0 +1,196 @@
+"""Line-oriented front-end for :class:`~repro.serving.service.TruthService`.
+
+The ``repro serve`` subcommand drives a service over JSON lines: one
+request object per stdin line, one response object per stdout line —
+trivially scriptable (``echo '{"op": ...}' | python -m repro serve``)
+and enough to smoke-test the serving stack end to end without a network
+dependency.
+
+Requests
+--------
+``{"op": "ingest", "claims": [{"source", "object", "attribute", "value"}, ...]}``
+    Admit the claims and wait for them to apply; responds with the
+    covering snapshot's version/watermark.  Overload responds with
+    ``{"ok": false, "error": "overloaded", "retry_after_seconds": ...}``.
+``{"op": "query", "object": ..., "attribute": ...}``
+    Point read against the current snapshot.
+``{"op": "snapshot"}``
+    The full current snapshot in the ``tdac-result/v1`` schema.
+``{"op": "stats"}``
+    Serving / engine / cache counters.
+
+:func:`run_smoke` is the self-driving round trip behind
+``repro serve --smoke`` and ``make test-serving``: it ingests against a
+live service and asserts the published snapshot is bit-identical to an
+offline :meth:`TDAC.run <repro.core.tdac.TDAC.run>` replay.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Iterable
+
+from repro.data.types import Claim
+from repro.serving.service import ServiceOverloadedError, TruthService
+
+
+def _parse_claims(raw: Any) -> list[Claim]:
+    if not isinstance(raw, list) or not raw:
+        raise ValueError("'claims' must be a non-empty list")
+    claims = []
+    for entry in raw:
+        try:
+            claims.append(
+                Claim(
+                    source=entry["source"],
+                    object=entry["object"],
+                    attribute=entry["attribute"],
+                    value=entry["value"],
+                )
+            )
+        except (TypeError, KeyError) as exc:
+            raise ValueError(
+                "each claim needs source/object/attribute/value"
+            ) from exc
+    return claims
+
+
+def _handle(service: TruthService, request: dict) -> dict:
+    op = request.get("op")
+    if op == "ingest":
+        try:
+            ticket = service.ingest(_parse_claims(request.get("claims")))
+            snapshot = ticket.wait()
+        except ServiceOverloadedError as exc:
+            return {
+                "ok": False,
+                "error": "overloaded",
+                "retry_after_seconds": exc.retry_after_seconds,
+            }
+        return {
+            "ok": True,
+            "op": "ingest",
+            "applied": len(ticket.claims),
+            "offset": ticket.offset,
+            "version": snapshot.version,
+            "watermark": snapshot.watermark,
+        }
+    if op == "query":
+        answer = service.query(request.get("object"), request.get("attribute"))
+        return {
+            "ok": True,
+            "op": "query",
+            "object": answer.object,
+            "attribute": answer.attribute,
+            "value": answer.value,
+            "found": answer.found,
+            "version": answer.version,
+            "watermark": answer.watermark,
+            "exact": answer.exact,
+        }
+    if op == "snapshot":
+        return {"ok": True, "op": "snapshot", "snapshot": service.snapshot().to_dict()}
+    if op == "stats":
+        return {"ok": True, "op": "stats", "stats": service.stats}
+    return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+def serve_jsonl(
+    service: TruthService, lines: Iterable[str], out: IO[str]
+) -> int:
+    """Drive ``service`` from JSON-lines requests; returns an exit code.
+
+    Malformed lines produce an ``{"ok": false}`` response instead of
+    stopping the loop, so one bad client request cannot kill the server.
+    """
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+            response = _handle(service, request)
+        except Exception as exc:  # a bad request must not stop serving
+            response = {"ok": False, "error": str(exc)}
+        out.write(json.dumps(response, sort_keys=True, default=str) + "\n")
+        out.flush()
+    return 0
+
+
+def run_smoke(
+    algorithm: str = "MajorityVote",
+    out: IO[str] | None = None,
+    seed: int = 0,
+) -> int:
+    """Self-driving serve round trip; 0 iff the bit-identity check holds.
+
+    Starts a service on a small synthetic corpus, ingests two claim
+    batches (one touching a brand-new object), queries, then replays the
+    accumulated claims offline through ``TDAC.run`` and asserts the
+    served snapshot matches field for field.
+    """
+    import sys
+
+    from repro.algorithms import create
+    from repro.core import TDAC, PartitionCache, TDACConfig
+    from repro.datasets import make_synthetic
+    from repro.observability import SpanTracer
+
+    out = sys.stdout if out is None else out
+    dataset = make_synthetic("DS1", n_objects=20, seed=seed).dataset
+    config = TDACConfig(seed=seed)
+    tracer = SpanTracer()
+    service = TruthService(
+        create(algorithm),
+        dataset,
+        config=config,
+        partition_cache=PartitionCache(),
+        tracer=tracer,
+        max_wait_ms=1.0,
+    )
+    with service:
+        source = dataset.sources[0]
+        attribute = dataset.attributes[0]
+        service.ingest(
+            [Claim(source, "smoke-object", attribute, "smoke-value")],
+            wait=True,
+        )
+        service.ingest(
+            [
+                Claim(s, "smoke-object", dataset.attributes[1], 7)
+                for s in dataset.sources[:2]
+            ],
+            wait=True,
+        )
+        answer = service.query("smoke-object", attribute)
+        snapshot = service.snapshot()
+        replayed = service.replay_dataset(snapshot.watermark)
+        offline = TDAC(create(algorithm), config=config).run(replayed)
+    checks = {
+        "query_found": answer.found and answer.value == "smoke-value",
+        "versions_monotone": snapshot.version == 3,  # start + 2 batches
+        "watermark": snapshot.watermark == 3,
+        "predictions_identical": (
+            dict(snapshot.predictions) == dict(offline.result.predictions)
+        ),
+        "trust_identical": (
+            dict(snapshot.source_trust) == dict(offline.result.source_trust)
+        ),
+        "partition_identical": snapshot.partition == offline.partition,
+        "serve_spans_traced": any(
+            span.name.startswith("serve.") for span in tracer.spans
+        ),
+        "batch_counters": tracer.counters.get("serve.batch", 0) >= 2,
+    }
+    ok = all(checks.values())
+    out.write(
+        json.dumps(
+            {"ok": ok, "op": "smoke", "checks": checks, "stats": service.stats},
+            sort_keys=True,
+            default=str,
+        )
+        + "\n"
+    )
+    return 0 if ok else 1

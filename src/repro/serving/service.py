@@ -1,0 +1,559 @@
+"""The long-lived, micro-batching truth-discovery service.
+
+:class:`TruthService` turns the one-shot :class:`~repro.core.tdac.TDAC`
+pipeline into a serving engine:
+
+* **Admission / backpressure** — :meth:`TruthService.ingest` appends a
+  batch of claims to a bounded queue and returns an
+  :class:`IngestTicket`.  When the queue is full the claim batch is
+  rejected with :class:`ServiceOverloadedError` carrying a
+  ``retry_after_seconds`` hint, so overload degrades to explicit
+  client-side retry instead of unbounded memory growth.
+* **Micro-batching** — a single worker thread coalesces queued tickets
+  (up to ``max_batch_size`` claims, waiting at most ``max_wait_ms`` for
+  stragglers once the first ticket arrives) into one refit, amortising
+  the per-refit cost across concurrent writers.
+* **Versioned snapshots** — every applied batch publishes a fresh
+  immutable :class:`~repro.serving.snapshot.TruthSnapshot` with a
+  strictly monotone version and a claims-seen watermark; reads are a
+  single reference load, wait-free and never blocked by writers.
+* **Bit-identical refits** — in the default ``refit="full"`` mode each
+  batch re-runs the full TD-AC pipeline on the accumulated dataset
+  (through :class:`~repro.core.incremental.IncrementalTDAC`), so every
+  published snapshot is bit-identical to an offline
+  :meth:`TDAC.run <repro.core.tdac.TDAC.run>` over the claims at its
+  watermark.  ``refit="incremental"`` trades that guarantee for
+  touched-block-only refreshes and marks its snapshots ``exact=False``.
+* **Partition reuse** — an optional shared
+  :class:`~repro.core.cache.PartitionCache` lets repeated cold starts
+  (and full refits over an unchanged corpus) replay the selected
+  partition instead of re-running the sweep.
+* **Observability** — refits and batches run under the service's
+  :class:`~repro.observability.SpanTracer` (``serve.start``,
+  ``serve.batch``, ``serve.refit`` spans; ingest/batch/refit counters;
+  queue-depth and batch-occupancy gauges), and worker failures inside a
+  refit propagate to the affected tickets without taking the service
+  down.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.algorithms.base import TruthDiscoveryAlgorithm
+from repro.core.cache import PartitionCache
+from repro.core.config import TDACConfig
+from repro.core.incremental import IncrementalTDAC, extend_dataset
+from repro.data.dataset import Dataset
+from repro.data.types import AttributeId, Claim, ObjectId, Value
+from repro.observability import SpanTracer, activate, current_tracer
+from repro.serving.snapshot import TruthSnapshot
+
+#: Refit strategies: ``"full"`` guarantees offline bit-identity,
+#: ``"incremental"`` refreshes only the touched blocks.
+REFIT_MODES = ("full", "incremental")
+
+
+class ServiceOverloadedError(RuntimeError):
+    """The admission queue is full; retry after ``retry_after_seconds``."""
+
+    def __init__(
+        self, pending_claims: int, capacity: int, retry_after_seconds: float
+    ) -> None:
+        super().__init__(
+            f"admission queue full ({pending_claims}/{capacity} claims "
+            f"pending); retry in {retry_after_seconds:.3f}s"
+        )
+        self.pending_claims = pending_claims
+        self.capacity = capacity
+        self.retry_after_seconds = retry_after_seconds
+
+
+class ServiceStoppedError(RuntimeError):
+    """The service is not accepting work (stopped, or never started)."""
+
+
+class IngestTicket:
+    """Handle for one admitted claim batch.
+
+    ``offset`` is the admission sequence of the batch's first claim;
+    the batch covers sequences ``[offset, offset + len(claims))``.  The
+    snapshot that applied the batch therefore has
+    ``watermark >= offset + len(claims)``.
+    """
+
+    __slots__ = ("claims", "offset", "_event", "_snapshot", "_error")
+
+    def __init__(self, claims: Sequence[Claim], offset: int) -> None:
+        self.claims: tuple[Claim, ...] = tuple(claims)
+        self.offset = offset
+        self._event = threading.Event()
+        self._snapshot: TruthSnapshot | None = None
+        self._error: BaseException | None = None
+
+    @property
+    def done(self) -> bool:
+        """Whether the batch has been applied (or failed)."""
+        return self._event.is_set()
+
+    def wait(self, timeout: float | None = None) -> TruthSnapshot:
+        """Block until the batch is applied; return the covering snapshot.
+
+        Raises the batch's failure (e.g. a one-truth conflict) if the
+        refit rejected it, or :class:`TimeoutError` on ``timeout``.
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError("ingest not applied within timeout")
+        if self._error is not None:
+            raise self._error
+        assert self._snapshot is not None
+        return self._snapshot
+
+    def _resolve(self, snapshot: TruthSnapshot) -> None:
+        self._snapshot = snapshot
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+@dataclass(frozen=True)
+class QueryAnswer:
+    """A point read plus the snapshot metadata that scopes its staleness."""
+
+    object: ObjectId
+    attribute: AttributeId
+    value: Value | None
+    found: bool
+    version: int
+    watermark: int
+    exact: bool
+
+
+class TruthService:
+    """Thread-safe query/ingest front-end over the TD-AC engines.
+
+    Parameters
+    ----------
+    base:
+        Base truth discovery algorithm ``F`` for every refit.
+    dataset:
+        The initial corpus served at watermark 0.
+    config:
+        :class:`~repro.core.config.TDACConfig` shared by every refit
+        (``None`` means defaults).  Its fingerprint keys the partition
+        cache and stamps every snapshot.
+    refit:
+        ``"full"`` (default; snapshots bit-identical to offline
+        ``TDAC.run``) or ``"incremental"`` (touched-block refreshes via
+        :meth:`IncrementalTDAC.update`, snapshots marked inexact).
+    repartition_fraction:
+        Forwarded to :class:`IncrementalTDAC`; only consulted in
+        ``"incremental"`` mode.
+    max_batch_size:
+        Claim-count target per micro-batch.  A single over-sized ticket
+        is still applied whole.
+    max_wait_ms:
+        How long the batcher lingers for stragglers after the first
+        ticket of a batch arrives.
+    queue_capacity:
+        Bound on pending (admitted, unapplied) claims; admissions beyond
+        it raise :class:`ServiceOverloadedError`.
+    partition_cache:
+        Optional shared :class:`~repro.core.cache.PartitionCache`.
+    tracer:
+        Optional :class:`~repro.observability.SpanTracer`; the worker
+        thread activates it so ``serve.*`` spans, counters and gauges
+        land in the same report as the pipeline stages they wrap.
+    """
+
+    def __init__(
+        self,
+        base: TruthDiscoveryAlgorithm,
+        dataset: Dataset,
+        *,
+        config: TDACConfig | None = None,
+        refit: str = "full",
+        repartition_fraction: float = 0.2,
+        max_batch_size: int = 64,
+        max_wait_ms: float = 10.0,
+        queue_capacity: int = 1024,
+        partition_cache: PartitionCache | None = None,
+        tracer: SpanTracer | None = None,
+    ) -> None:
+        if refit not in REFIT_MODES:
+            raise ValueError(
+                f"refit must be one of {REFIT_MODES}, got {refit!r}"
+            )
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be at least 1")
+        self.refit = refit
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self.queue_capacity = queue_capacity
+        self.partition_cache = partition_cache
+        self._config = config if config is not None else TDACConfig()
+        self._initial_dataset = dataset
+        self._incremental = IncrementalTDAC(
+            base,
+            repartition_fraction=repartition_fraction,
+            config=self._config,
+            partition_cache=partition_cache,
+        )
+        self._tracer = tracer
+        self._cond = threading.Condition()
+        self._pending: deque[IngestTicket] = deque()
+        self._pending_claims = 0
+        self._in_flight = 0
+        self._next_sequence = 0
+        self._applied: list[Claim] = []
+        self._snapshot: TruthSnapshot | None = None
+        self._thread: threading.Thread | None = None
+        self._started = False
+        self._closed = False
+        self._last_batch_seconds = 0.05
+        self._stats = {
+            "ingested_tickets": 0,
+            "ingested_claims": 0,
+            "rejected_claims": 0,
+            "batches": 0,
+            "batch_errors": 0,
+            "applied_claims": 0,
+            "refits_full": 0,
+            "refits_incremental": 0,
+            "queue_depth_peak": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def config(self) -> TDACConfig:
+        """The config every refit runs under."""
+        return self._config
+
+    def start(self) -> TruthSnapshot:
+        """Run the initial fit, publish snapshot v1, start the batcher."""
+        with self._cond:
+            if self._started:
+                raise RuntimeError("service already started")
+            if self._closed:
+                raise ServiceStoppedError("service was stopped")
+            self._started = True
+        with activate(self._tracer):
+            with current_tracer().span("serve.start"):
+                outcome = self._incremental.fit(self._initial_dataset)
+        snapshot = TruthSnapshot(
+            version=1,
+            watermark=0,
+            result=outcome.result,
+            partition=outcome.partition,
+            silhouette_by_k=dict(outcome.silhouette_by_k),
+            exact=True,
+            pending_claims=0,
+            dataset_fingerprint=self._initial_dataset.fingerprint,
+            config_fingerprint=self._config.fingerprint(),
+        )
+        self._snapshot = snapshot
+        self._thread = threading.Thread(
+            target=self._worker, name="tdac-truth-service", daemon=True
+        )
+        self._thread.start()
+        return snapshot
+
+    def stop(self, timeout: float | None = None) -> None:
+        """Drain the queue, apply what remains, and stop the batcher."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "TruthService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def ingest(
+        self,
+        claims: Iterable[Claim],
+        wait: bool = False,
+        timeout: float | None = None,
+    ) -> IngestTicket:
+        """Admit a batch of claims for asynchronous application.
+
+        Returns an :class:`IngestTicket`; with ``wait=True`` blocks
+        until the batch is applied and any refit failure re-raises here.
+        Raises :class:`ServiceOverloadedError` when the queue is full
+        and :class:`ServiceStoppedError` after :meth:`stop`.
+        """
+        batch = tuple(claims)
+        if not batch:
+            raise ValueError("ingest requires at least one claim")
+        with self._cond:
+            if self._closed or not self._started:
+                raise ServiceStoppedError(
+                    "service is not running; call start() first"
+                )
+            backlog = self._pending_claims + self._in_flight
+            if backlog + len(batch) > self.queue_capacity:
+                self._stats["rejected_claims"] += len(batch)
+                self._trace_count("serve.ingest.rejected")
+                batches_ahead = max(1, -(-backlog // self.max_batch_size))
+                retry_after = self._last_batch_seconds * batches_ahead
+                raise ServiceOverloadedError(
+                    backlog, self.queue_capacity, retry_after
+                )
+            ticket = IngestTicket(batch, offset=self._next_sequence)
+            self._next_sequence += len(batch)
+            self._pending.append(ticket)
+            self._pending_claims += len(batch)
+            depth = self._pending_claims + self._in_flight
+            self._stats["ingested_tickets"] += 1
+            self._stats["ingested_claims"] += len(batch)
+            self._stats["queue_depth_peak"] = max(
+                self._stats["queue_depth_peak"], depth
+            )
+            self._trace_count("serve.ingest")
+            self._trace_count("serve.ingest.claims", len(batch))
+            self._trace_gauge("serve.queue.depth", depth)
+            self._cond.notify_all()
+        if wait:
+            ticket.wait(timeout)
+        return ticket
+
+    # ------------------------------------------------------------------
+    # Reads (wait-free)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> TruthSnapshot:
+        """The latest published snapshot (never blocks on writers)."""
+        snapshot = self._snapshot
+        if snapshot is None:
+            raise ServiceStoppedError(
+                "service is not running; call start() first"
+            )
+        return snapshot
+
+    def query(self, obj: ObjectId, attribute: AttributeId) -> QueryAnswer:
+        """Point read of one fact against the current snapshot."""
+        snapshot = self.snapshot()
+        value = snapshot.value(obj, attribute)
+        return QueryAnswer(
+            object=obj,
+            attribute=attribute,
+            value=value,
+            found=value is not None,
+            version=snapshot.version,
+            watermark=snapshot.watermark,
+            exact=snapshot.exact,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> dict:
+        """Serving counters plus engine and cache bookkeeping."""
+        with self._cond:
+            out = dict(self._stats)
+            out["pending_claims"] = self._pending_claims + self._in_flight
+        snapshot = self._snapshot
+        out["version"] = snapshot.version if snapshot else 0
+        out["watermark"] = snapshot.watermark if snapshot else 0
+        out["engine"] = self._incremental.stats
+        if self.partition_cache is not None:
+            out["partition_cache"] = self.partition_cache.stats
+        return out
+
+    @property
+    def claim_log(self) -> tuple[Claim, ...]:
+        """Every applied claim, in admission (watermark) order."""
+        with self._cond:
+            return tuple(self._applied)
+
+    def replay_dataset(self, watermark: int | None = None) -> Dataset:
+        """The offline dataset a snapshot at ``watermark`` must match.
+
+        Rebuilds ``initial dataset + claim_log[:watermark]`` through the
+        same accumulation routine the service itself uses, so
+        ``TDAC(base, config=service.config).run(replay_dataset(w))`` is
+        the reference an exact snapshot at watermark ``w`` is
+        bit-identical to.
+        """
+        log = self.claim_log
+        if watermark is None:
+            watermark = len(log)
+        if not 0 <= watermark <= len(log):
+            raise ValueError(
+                f"watermark {watermark} outside applied range "
+                f"[0, {len(log)}]"
+            )
+        if watermark == 0:
+            return self._initial_dataset
+        return extend_dataset(self._initial_dataset, list(log[:watermark]))
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until every admitted claim has been applied.
+
+        Returns False if ``timeout`` elapsed with work still pending.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while self._pending or self._in_flight:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+        return True
+
+    # ------------------------------------------------------------------
+    # Batcher internals
+    # ------------------------------------------------------------------
+
+    def _trace_count(self, name: str, n: int = 1) -> None:
+        if self._tracer is not None:
+            self._tracer.count(name, n)
+
+    def _trace_gauge(self, name: str, value: float) -> None:
+        if self._tracer is not None:
+            self._tracer.gauge(name, value)
+
+    def _take_batch(self) -> list[IngestTicket] | None:
+        """Pop one micro-batch, or None when stopped and fully drained.
+
+        Takes the first available ticket immediately, then lingers up to
+        ``max_wait_ms`` coalescing further tickets while the batch stays
+        under ``max_batch_size`` claims.
+        """
+        with self._cond:
+            while not self._pending:
+                if self._closed:
+                    return None
+                self._cond.wait()
+            tickets = [self._pending.popleft()]
+            count = len(tickets[0].claims)
+            deadline = time.monotonic() + self.max_wait_ms / 1000.0
+            while count < self.max_batch_size:
+                if self._pending:
+                    head = self._pending[0]
+                    if count + len(head.claims) > self.max_batch_size:
+                        break
+                    self._pending.popleft()
+                    tickets.append(head)
+                    count += len(head.claims)
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or self._closed:
+                    break
+                self._cond.wait(remaining)
+            self._pending_claims -= count
+            self._in_flight = count
+            return tickets
+
+    def _worker(self) -> None:
+        with activate(self._tracer):
+            tracer = current_tracer()
+            while True:
+                tickets = self._take_batch()
+                if tickets is None:
+                    break
+                claims = [c for t in tickets for c in t.claims]
+                started = time.perf_counter()
+                error: BaseException | None = None
+                snapshot: TruthSnapshot | None = None
+                with tracer.span(
+                    "serve.batch", claims=len(claims), tickets=len(tickets)
+                ):
+                    try:
+                        snapshot = self._apply(claims)
+                    except Exception as exc:  # keep serving on bad batches
+                        error = exc
+                elapsed = time.perf_counter() - started
+                with self._cond:
+                    self._in_flight = 0
+                    self._last_batch_seconds = max(elapsed, 1e-4)
+                    self._stats["batches"] += 1
+                    if error is None:
+                        self._stats["applied_claims"] += len(claims)
+                    else:
+                        self._stats["batch_errors"] += 1
+                    self._cond.notify_all()
+                tracer.count("serve.batch")
+                tracer.count("serve.batch.claims", len(claims))
+                tracer.gauge(
+                    "serve.batch.occupancy",
+                    len(claims) / self.max_batch_size,
+                )
+                if error is not None:
+                    tracer.count("serve.batch.errors")
+                    for ticket in tickets:
+                        ticket._fail(error)
+                    continue
+                assert snapshot is not None
+                for ticket in tickets:
+                    ticket._resolve(snapshot)
+
+    def _apply(self, claims: list[Claim]) -> TruthSnapshot:
+        """Refit on ``claims`` and publish the covering snapshot."""
+        tracer = current_tracer()
+        previous = self._snapshot
+        assert previous is not None
+        if self.refit == "full":
+            # Extend on a local first: a conflicting batch raises here
+            # and leaves the engine (and the published state) untouched.
+            dataset = extend_dataset(self._incremental.dataset, claims)
+            with tracer.span("serve.refit", mode="full", claims=len(claims)):
+                outcome = self._incremental.fit(dataset)
+            tracer.count("serve.refit.full")
+            self._stats["refits_full"] += 1
+            result = outcome.result
+            partition = outcome.partition
+            silhouettes = dict(outcome.silhouette_by_k)
+            exact = True
+        else:
+            with tracer.span(
+                "serve.refit", mode="incremental", claims=len(claims)
+            ):
+                result = self._incremental.update(claims)
+            tracer.count("serve.refit.incremental")
+            self._stats["refits_incremental"] += 1
+            partition = self._incremental.partition
+            silhouettes = {}
+            exact = False
+        with self._cond:
+            self._applied.extend(claims)
+            watermark = len(self._applied)
+            pending = self._pending_claims
+        snapshot = TruthSnapshot(
+            version=previous.version + 1,
+            watermark=watermark,
+            result=result,
+            partition=partition,
+            silhouette_by_k=silhouettes,
+            exact=exact,
+            pending_claims=pending,
+            dataset_fingerprint=self._incremental.dataset.fingerprint,
+            config_fingerprint=self._config.fingerprint(),
+        )
+        self._snapshot = snapshot
+        return snapshot

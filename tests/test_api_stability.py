@@ -1,0 +1,144 @@
+"""API-stability guarantees for the ``repro`` 1.x public surface.
+
+Two contracts are pinned here:
+
+* every symbol in ``repro.__all__`` imports from ``repro`` directly and
+  stays importable from its documented home module;
+* the deprecated per-knob ``TDAC(...)`` keyword constructor warns
+  exactly once per construction and remains bit-identical to the
+  ``config=TDACConfig(...)`` path it is a shim for.
+"""
+
+import dataclasses
+import importlib
+import warnings
+
+import pytest
+
+import repro
+from repro import IncrementalTDAC, MajorityVote, TDAC, TDACConfig
+from repro.core.config import CONFIG_FIELD_NAMES, RESULT_AFFECTING_FIELDS
+from repro.datasets import make_synthetic
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_synthetic("DS1", n_objects=20, seed=3).dataset
+
+
+class TestPublicSurface:
+    def test_every_all_symbol_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_all_is_sorted_and_unique(self):
+        assert list(repro.__all__) == sorted(set(repro.__all__))
+
+    @pytest.mark.parametrize(
+        "module, names",
+        [
+            ("repro.core", ["TDAC", "TDACConfig", "TDACResult",
+                            "IncrementalTDAC", "PartitionCache",
+                            "RESULT_SCHEMA", "result_to_dict"]),
+            ("repro.execution", ["ExecutionPolicy"]),
+            ("repro.observability", ["SpanTracer"]),
+            ("repro.serving", ["TruthService", "TruthSnapshot",
+                               "ServiceOverloadedError", "run_smoke"]),
+        ],
+    )
+    def test_documented_homes_stay_importable(self, module, names):
+        mod = importlib.import_module(module)
+        for name in names:
+            assert hasattr(mod, name), f"{module}.{name} missing"
+
+    def test_serving_symbols_are_top_level(self):
+        from repro import TruthService, TruthSnapshot  # noqa: F401
+
+    def test_version_matches_package_metadata(self):
+        assert repro.__version__ == "1.1.0"
+
+
+class TestTDACConfig:
+    def test_is_frozen(self):
+        config = TDACConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.seed = 1
+
+    def test_fingerprint_ignores_performance_knobs(self):
+        base = TDACConfig(seed=4)
+        tuned = TDACConfig(seed=4, n_jobs=8, backend="processes")
+        assert base.fingerprint() == tuned.fingerprint()
+
+    def test_fingerprint_tracks_result_affecting_knobs(self):
+        fingerprints = {
+            TDACConfig().fingerprint(),
+            TDACConfig(seed=1).fingerprint(),
+            TDACConfig(k_min=3).fingerprint(),
+            TDACConfig(distance="masked").fingerprint(),
+        }
+        assert len(fingerprints) == 4
+
+    def test_result_affecting_fields_exist(self):
+        assert set(RESULT_AFFECTING_FIELDS) <= set(CONFIG_FIELD_NAMES)
+
+
+class TestLegacyKwargShim:
+    def test_warns_exactly_once_per_construction(self):
+        with pytest.warns(DeprecationWarning) as caught:
+            TDAC(MajorityVote(), seed=7, k_min=2)
+        assert len(caught) == 1
+        assert "TDACConfig" in str(caught[0].message)
+
+    def test_config_path_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            TDAC(MajorityVote(), config=TDACConfig(seed=7))
+
+    def test_unknown_kwarg_rejected(self):
+        with pytest.raises(TypeError):
+            TDAC(MajorityVote(), wat=1)
+
+    def test_kwargs_and_config_are_mutually_exclusive(self):
+        with pytest.raises(TypeError):
+            TDAC(MajorityVote(), config=TDACConfig(), seed=1)
+        with pytest.raises(TypeError):
+            IncrementalTDAC(MajorityVote(), config=TDACConfig(), seed=1)
+
+    def test_legacy_kwargs_bit_identical_to_config(self, dataset):
+        with pytest.warns(DeprecationWarning):
+            legacy = TDAC(MajorityVote(), seed=5, n_init=4).run(dataset)
+        modern = TDAC(
+            MajorityVote(), config=TDACConfig(seed=5, n_init=4)
+        ).run(dataset)
+        assert dict(legacy.result.predictions) == dict(
+            modern.result.predictions
+        )
+        assert dict(legacy.result.source_trust) == dict(
+            modern.result.source_trust
+        )
+        assert legacy.partition == modern.partition
+        assert legacy.silhouette_by_k == modern.silhouette_by_k
+
+    def test_shim_folds_into_config(self):
+        with pytest.warns(DeprecationWarning):
+            tdac = TDAC(MajorityVote(), seed=9, n_jobs=2)
+        assert tdac.config == TDACConfig(seed=9, n_jobs=2)
+
+
+class TestResultSchema:
+    def test_run_to_dict_uses_versioned_schema(self, dataset):
+        from repro.core import RESULT_SCHEMA, RESULT_SCHEMA_KEYS
+
+        outcome = TDAC(MajorityVote(), config=TDACConfig(seed=0)).run(dataset)
+        payload = outcome.to_dict()
+        assert payload["schema"] == RESULT_SCHEMA
+        assert tuple(sorted(payload)) == tuple(sorted(RESULT_SCHEMA_KEYS))
+        assert payload["partition"] is not None
+
+    def test_plain_result_to_dict_shares_schema(self, dataset):
+        from repro.core import RESULT_SCHEMA
+
+        result = MajorityVote().discover(dataset)
+        payload = result.to_dict()
+        assert payload["schema"] == RESULT_SCHEMA
+        assert payload["partition"] is None
