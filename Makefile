@@ -1,10 +1,21 @@
-.PHONY: install test test-fast test-faults test-serving bench bench-smoke report examples clean
+.PHONY: install lint test test-fast test-faults test-serving test-store bench bench-smoke report examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test: bench-smoke test-faults test-serving
+test: lint bench-smoke test-faults test-serving test-store
 	pytest tests/
+
+# Static checks: ruff when the container ships it, plus a bytecode
+# compile of the whole source tree (catches syntax errors everywhere,
+# with or without ruff).
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+	    ruff check src tests benchmarks examples; \
+	else \
+	    echo "ruff not installed; skipping ruff check"; \
+	fi
+	python -m compileall -q src
 
 # Fast fault-injection smoke: crash / stall / kill the Nth worker task
 # and assert recovery (retry + sequential fallback) stays bit-identical
@@ -18,6 +29,11 @@ test-serving:
 	PYTHONPATH=src python -m pytest tests/test_serving.py tests/test_api_stability.py -q
 	PYTHONPATH=src python -m repro serve --smoke
 
+# Durable store suites: WAL/snapshot units plus crash-recovery
+# bit-identity (kill mid-ingest, restore, compare to offline TDAC.run).
+test-store:
+	PYTHONPATH=src python -m pytest tests/test_store.py tests/test_store_recovery.py -q
+
 test-fast:
 	pytest tests/ -m "not slow"
 
@@ -28,10 +44,11 @@ bench:
 # the JSON artefact cannot be produced, so perf regressions that break
 # the harness are caught in the ordinary test flow.
 bench-smoke:
+	mkdir -p benchmarks/output
 	PYTHONPATH=src python benchmarks/bench_partition_select.py \
 	    --config smoke --repeat 1 \
-	    --output BENCH_partition_select_smoke.json
-	test -s BENCH_partition_select_smoke.json
+	    --output benchmarks/output/BENCH_partition_select_smoke.json
+	test -s benchmarks/output/BENCH_partition_select_smoke.json
 
 report:
 	python -c "from repro.evaluation.report import write_report; \
@@ -41,5 +58,5 @@ examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f; echo; done
 
 clean:
-	rm -rf benchmarks/output .pytest_cache .benchmarks
+	rm -rf benchmarks/output/BENCH_partition_select_smoke.json .pytest_cache .benchmarks
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -19,7 +19,9 @@ depends on, from scratch:
 * :mod:`repro.observability` — span tracing and structured run reports
   for every pipeline stage;
 * :mod:`repro.serving` — the long-lived :class:`TruthService`:
-  micro-batched ingests, versioned snapshots, backpressure.
+  micro-batched ingests, versioned snapshots, backpressure;
+* :mod:`repro.store` — durable claim WAL, versioned snapshot
+  checkpoints and crash recovery for the serving layer.
 
 Quickstart::
 
@@ -50,6 +52,7 @@ from repro import (
     metrics,
     observability,
     serving,
+    store,
 )
 from repro.algorithms import (
     CATD,
@@ -84,8 +87,9 @@ from repro.data import Claim, Dataset, DatasetBuilder, Fact
 from repro.execution import ExecutionPolicy
 from repro.observability import SpanTracer
 from repro.serving import TruthService, TruthSnapshot
+from repro.store import TruthStore
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: The stable public surface: every name here imports from ``repro``
 #: directly and is covered by the API-stability tests.  Additions are
@@ -123,6 +127,7 @@ __all__ = [
     "TruthFinder",
     "TruthService",
     "TruthSnapshot",
+    "TruthStore",
     "TwoEstimates",
     "__version__",
     "algorithms",
@@ -136,4 +141,5 @@ __all__ = [
     "metrics",
     "observability",
     "serving",
+    "store",
 ]

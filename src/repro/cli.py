@@ -14,6 +14,10 @@ Examples
     python -m repro leaderboard DS1 --scale 0.05 --n-jobs 4
     python -m repro serve --smoke
     echo '{"op": "stats"}' | python -m repro serve MajorityVote DS1 --scale 0.05
+    python -m repro serve MajorityVote DS1 --store-dir /tmp/truth-store
+    python -m repro store inspect /tmp/truth-store
+    python -m repro store compact /tmp/truth-store
+    python -m repro store recover /tmp/truth-store
     python -m repro datasets
     python -m repro algorithms
 
@@ -217,6 +221,48 @@ def _build_parser() -> argparse.ArgumentParser:
         help="self-driving ingest/query round trip asserting snapshot "
         "bit-identity; exits non-zero on mismatch",
     )
+    serve.add_argument(
+        "--store-dir",
+        metavar="DIR",
+        default=None,
+        help="durable store directory: admissions are WAL-logged before "
+        "they are acknowledged, and a non-empty directory is resumed "
+        "via crash recovery",
+    )
+    serve.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=8,
+        help="applied batches between periodic checkpoints (with "
+        "--store-dir)",
+    )
+
+    store = sub.add_parser(
+        "store",
+        help="inspect or maintain a durable truth-service store directory",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    inspect = store_sub.add_parser(
+        "inspect", help="print the store's WAL/snapshot structure as JSON"
+    )
+    inspect.add_argument("store_dir", help="store directory to inspect")
+    compact = store_sub.add_parser(
+        "compact",
+        help="delete sealed WAL segments below the latest checkpoint's "
+        "live frontier",
+    )
+    compact.add_argument("store_dir", help="store directory to compact")
+    recover = store_sub.add_parser(
+        "recover",
+        help="restore the service state from the store, report what was "
+        "replayed, and cut a fresh checkpoint",
+    )
+    recover.add_argument("store_dir", help="store directory to recover")
+    recover.add_argument(
+        "--algorithm",
+        default=None,
+        help="base algorithm override (defaults to the checkpoint's)",
+    )
 
     sub.add_parser("datasets", help="list available datasets")
     sub.add_parser("algorithms", help="list available algorithms")
@@ -354,25 +400,53 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         if args.smoke:
             return run_smoke(args.algorithm, seed=args.seed)
-        dataset = load(args.dataset, seed=args.seed, scale=args.scale)
         tracer = None
         if args.trace is not None:
             from repro.observability import SpanTracer
 
             tracer = SpanTracer()
-        service = TruthService(
-            create(args.algorithm),
-            dataset,
-            config=_config_from_args(args),
-            refit=args.refit,
-            max_batch_size=args.max_batch_size,
-            max_wait_ms=args.max_wait_ms,
-            queue_capacity=args.queue_capacity,
-            partition_cache=PartitionCache(),
-            tracer=tracer,
-        )
-        with service:
-            code = serve_jsonl(service, sys.stdin, sys.stdout)
+        store = None
+        if args.store_dir is not None:
+            from repro.store import TruthStore
+
+            store = TruthStore(args.store_dir)
+        if store is not None and not store.is_empty():
+            # Non-empty store: the durable state wins over the dataset
+            # flags; resume exactly where the previous process stopped.
+            print(
+                f"resuming from store {args.store_dir}", file=sys.stderr
+            )
+            service = TruthService.restore(
+                store,
+                partition_cache=PartitionCache(),
+                tracer=tracer,
+                refit=args.refit,
+                max_batch_size=args.max_batch_size,
+                max_wait_ms=args.max_wait_ms,
+                queue_capacity=args.queue_capacity,
+                snapshot_every=args.snapshot_every,
+            )
+            try:
+                code = serve_jsonl(service, sys.stdin, sys.stdout)
+            finally:
+                service.stop()
+        else:
+            dataset = load(args.dataset, seed=args.seed, scale=args.scale)
+            service = TruthService(
+                create(args.algorithm),
+                dataset,
+                config=_config_from_args(args),
+                refit=args.refit,
+                max_batch_size=args.max_batch_size,
+                max_wait_ms=args.max_wait_ms,
+                queue_capacity=args.queue_capacity,
+                partition_cache=PartitionCache(),
+                tracer=tracer,
+                store=store,
+                snapshot_every=args.snapshot_every,
+            )
+            with service:
+                code = serve_jsonl(service, sys.stdin, sys.stdout)
         if tracer is not None:
             from repro.observability import write_trace
 
@@ -388,6 +462,37 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
             print(f"trace: {path}", file=sys.stderr)
         return code
+    elif args.command == "store":
+        import json
+
+        from repro.store import TruthStore
+
+        store = TruthStore(args.store_dir)
+        if args.store_command == "inspect":
+            print(json.dumps(store.inspect(), indent=2, sort_keys=True))
+        elif args.store_command == "compact":
+            outcome = store.compact()
+            print(json.dumps(outcome, indent=2, sort_keys=True))
+        elif args.store_command == "recover":
+            from repro.serving import TruthService
+
+            base = (
+                None if args.algorithm is None else create(args.algorithm)
+            )
+            service = TruthService.restore(store, base)
+            recovery_stats = service.stats
+            service.stop()
+            print(
+                json.dumps(
+                    {
+                        "version": recovery_stats["version"],
+                        "watermark": recovery_stats["watermark"],
+                        "store": recovery_stats["store"],
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
     elif args.command == "report":
         from repro.evaluation.report import write_report
 

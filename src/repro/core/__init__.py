@@ -13,6 +13,7 @@ from repro.core.config import (
     DEFAULT_SPARSE_THRESHOLD,
     RESULT_AFFECTING_FIELDS,
     TDACConfig,
+    config_from_dict,
 )
 from repro.core.explain import (
     CandidateSupport,
@@ -38,7 +39,12 @@ from repro.core.partition import (
     adjusted_rand_index,
     rand_index,
 )
-from repro.core.schema import RESULT_SCHEMA, RESULT_SCHEMA_KEYS, result_to_dict
+from repro.core.schema import (
+    RESULT_SCHEMA,
+    RESULT_SCHEMA_KEYS,
+    result_from_dict,
+    result_to_dict,
+)
 from repro.core.tdac import TDAC, TDACResult
 from repro.core.truth_vectors import TruthVectorMatrix, build_truth_vectors
 
@@ -63,12 +69,14 @@ __all__ = [
     "adjusted_rand_index",
     "build_object_truth_vectors",
     "build_truth_vectors",
+    "config_from_dict",
     "explain_fact",
     "explain_partition",
     "extend_dataset",
     "make_executor",
     "ordered_map",
     "rand_index",
+    "result_from_dict",
     "result_to_dict",
     "run_blocks",
 ]

@@ -153,3 +153,25 @@ class TDACConfig:
 
 #: Names accepted by the deprecated per-knob ``TDAC(...)`` keyword shim.
 CONFIG_FIELD_NAMES = tuple(f.name for f in dataclasses.fields(TDACConfig))
+
+
+def config_from_dict(payload: dict) -> TDACConfig:
+    """Rebuild a :class:`TDACConfig` from its :meth:`~TDACConfig.to_dict`.
+
+    Used by the durable store to resume a service under the exact config
+    it checkpointed with.  When the payload carries a ``fingerprint`` it
+    is checked against the rebuilt config, so a hand-edited checkpoint
+    cannot silently serve results under the wrong knobs.
+    """
+    data = dict(payload)
+    recorded = data.pop("fingerprint", None)
+    policy = data.pop("execution_policy", None)
+    if policy is not None:
+        policy = ExecutionPolicy(**policy)
+    config = TDACConfig(execution_policy=policy, **data)
+    if recorded is not None and config.fingerprint() != recorded:
+        raise ValueError(
+            f"stored config fingerprint {recorded} does not match its "
+            f"knobs (recomputed {config.fingerprint()})"
+        )
+    return config

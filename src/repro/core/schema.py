@@ -49,6 +49,54 @@ RESULT_SCHEMA_KEYS = (
 )
 
 
+def _freeze_value(value: Any) -> Any:
+    """Turn JSON lists back into the tuples the data model uses."""
+    if isinstance(value, list):
+        return tuple(_freeze_value(v) for v in value)
+    return value
+
+
+def result_from_dict(payload: Mapping[str, Any]) -> "TruthDiscoveryResult":
+    """Rebuild a :class:`TruthDiscoveryResult` from its v1 rendering.
+
+    The inverse of :func:`result_to_dict` up to JSON's type erasure:
+    tuple-valued predictions come back as tuples (JSON arrays are
+    frozen), object/attribute identifiers come back as the strings the
+    serializer emitted, and facts whose serialized confidence was
+    ``None`` are omitted from the ``confidence`` mapping.  Partition
+    provenance (``partition`` / ``silhouette_by_k``) is not part of the
+    result object itself; callers that need it read those keys
+    directly.
+    """
+    from repro.algorithms.base import TruthDiscoveryResult
+    from repro.data.types import Fact
+
+    if payload.get("schema") != RESULT_SCHEMA:
+        raise ValueError(
+            f"payload does not carry the {RESULT_SCHEMA} schema "
+            f"(got {payload.get('schema')!r})"
+        )
+    predictions: dict[Any, Any] = {}
+    confidence: dict[Any, float] = {}
+    for entry in payload.get("predictions", ()):
+        fact = Fact(entry["object"], entry["attribute"])
+        predictions[fact] = _freeze_value(entry["value"])
+        if entry.get("confidence") is not None:
+            confidence[fact] = float(entry["confidence"])
+    return TruthDiscoveryResult(
+        algorithm=str(payload.get("algorithm", "")),
+        predictions=predictions,
+        confidence=confidence,
+        source_trust={
+            str(source): float(trust)
+            for source, trust in (payload.get("source_trust") or {}).items()
+        },
+        iterations=int(payload.get("iterations", 0)),
+        elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+        extras=dict(payload.get("extras") or {}),
+    )
+
+
 def result_to_dict(
     result: "TruthDiscoveryResult",
     partition: "Partition | None" = None,

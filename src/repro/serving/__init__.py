@@ -17,6 +17,12 @@ provides it:
   LRU that lets repeated cold starts replay selected partitions;
 * :mod:`~repro.serving.frontend` — the JSON-lines driver behind the
   ``repro serve`` CLI subcommand and its ``--smoke`` round trip.
+
+Durability is opt-in through :mod:`repro.store`: pass ``store=`` to
+:class:`TruthService` and every admission is WAL-logged before its
+ticket returns, checkpoints are cut periodically, and
+:meth:`TruthService.restore` resumes the service bit-identically after
+a crash.
 """
 
 from repro.core.cache import PartitionCache

@@ -40,18 +40,21 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from collections import deque
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.algorithms.base import TruthDiscoveryAlgorithm
 from repro.core.cache import PartitionCache
-from repro.core.config import TDACConfig
+from repro.core.config import TDACConfig, config_from_dict
 from repro.core.incremental import IncrementalTDAC, extend_dataset
 from repro.data.dataset import Dataset
 from repro.data.types import AttributeId, Claim, ObjectId, Value
 from repro.observability import SpanTracer, activate, current_tracer
 from repro.serving.snapshot import TruthSnapshot
+from repro.store import StoreError, TruthStore, WALCorruptionWarning, open_store
 
 #: Refit strategies: ``"full"`` guarantees offline bit-identity,
 #: ``"incremental"`` refreshes only the touched blocks.
@@ -170,6 +173,16 @@ class TruthService:
         Optional :class:`~repro.observability.SpanTracer`; the worker
         thread activates it so ``serve.*`` spans, counters and gauges
         land in the same report as the pipeline stages they wrap.
+    store:
+        Optional durable backing: a :class:`~repro.store.TruthStore`
+        or a directory path for one.  When set, every admitted batch is
+        appended to the claim WAL *before* its ticket is returned, every
+        applied batch writes a commit record before its ticket resolves,
+        and checkpoints are cut on start, every ``snapshot_every``
+        batches and on clean :meth:`stop`.  ``None`` (default) keeps the
+        service purely in-memory.
+    snapshot_every:
+        How many applied batches between periodic checkpoints.
     """
 
     def __init__(
@@ -185,6 +198,8 @@ class TruthService:
         queue_capacity: int = 1024,
         partition_cache: PartitionCache | None = None,
         tracer: SpanTracer | None = None,
+        store: TruthStore | str | Path | None = None,
+        snapshot_every: int = 8,
     ) -> None:
         if refit not in REFIT_MODES:
             raise ValueError(
@@ -196,11 +211,16 @@ class TruthService:
             raise ValueError("max_wait_ms must be non-negative")
         if queue_capacity < 1:
             raise ValueError("queue_capacity must be at least 1")
+        if snapshot_every < 1:
+            raise ValueError("snapshot_every must be at least 1")
         self.refit = refit
         self.max_batch_size = max_batch_size
         self.max_wait_ms = max_wait_ms
         self.queue_capacity = queue_capacity
         self.partition_cache = partition_cache
+        self.store = None if store is None else open_store(store)
+        self.snapshot_every = snapshot_every
+        self._base = base
         self._config = config if config is not None else TDACConfig()
         self._initial_dataset = dataset
         self._incremental = IncrementalTDAC(
@@ -221,6 +241,12 @@ class TruthService:
         self._started = False
         self._closed = False
         self._last_batch_seconds = 0.05
+        # Restore continuity: a resumed service publishes versions and
+        # watermarks continuing the checkpoint's numbering, not 1/0.
+        self._version_base = 0
+        self._watermark_base = 0
+        self._resuming = False
+        self._batches_since_checkpoint = 0
         self._stats = {
             "ingested_tickets": 0,
             "ingested_claims": 0,
@@ -243,7 +269,21 @@ class TruthService:
         return self._config
 
     def start(self) -> TruthSnapshot:
-        """Run the initial fit, publish snapshot v1, start the batcher."""
+        """Run the initial fit, publish the first snapshot, start the batcher.
+
+        A fresh service with a ``store`` refuses to start over a
+        non-empty store directory: silently refitting from scratch would
+        shadow the durable state.  Use :meth:`restore` to resume it.
+        """
+        if (
+            self.store is not None
+            and not self._resuming
+            and not self.store.is_empty()
+        ):
+            raise StoreError(
+                f"store at {self.store.root} already holds durable state; "
+                "use TruthService.restore(...) to resume from it"
+            )
         with self._cond:
             if self._started:
                 raise RuntimeError("service already started")
@@ -254,8 +294,8 @@ class TruthService:
             with current_tracer().span("serve.start"):
                 outcome = self._incremental.fit(self._initial_dataset)
         snapshot = TruthSnapshot(
-            version=1,
-            watermark=0,
+            version=self._version_base + 1,
+            watermark=self._watermark_base,
             result=outcome.result,
             partition=outcome.partition,
             silhouette_by_k=dict(outcome.silhouette_by_k),
@@ -265,19 +305,59 @@ class TruthService:
             config_fingerprint=self._config.fingerprint(),
         )
         self._snapshot = snapshot
+        if self.store is not None and not self._resuming:
+            # Baseline checkpoint: the initial dataset is otherwise only
+            # held in memory, and recovery needs it to replay from 0.
+            self.checkpoint()
         self._thread = threading.Thread(
             target=self._worker, name="tdac-truth-service", daemon=True
         )
         self._thread.start()
         return snapshot
 
-    def stop(self, timeout: float | None = None) -> None:
-        """Drain the queue, apply what remains, and stop the batcher."""
+    def stop(
+        self, timeout: float | None = None, checkpoint: bool = True
+    ) -> None:
+        """Drain the queue, apply what remains, and stop the batcher.
+
+        With a store attached, a clean stop cuts a final checkpoint (so
+        the next :meth:`restore` replays nothing) and closes the WAL.
+        ``checkpoint=False`` skips the final checkpoint — the store then
+        looks exactly as it would after a crash at this point.
+        """
         with self._cond:
             self._closed = True
             self._cond.notify_all()
         if self._thread is not None:
             self._thread.join(timeout)
+        if self.store is not None:
+            if checkpoint and self._snapshot is not None:
+                self.checkpoint()
+            self.store.close()
+
+    def checkpoint(self) -> Path | None:
+        """Persist the current snapshot (plus dataset) as a checkpoint.
+
+        Returns the written path, or None without a store.  Meant to be
+        called from the batcher between batches or while the service is
+        quiescent, so the snapshot and the accumulated dataset agree.
+        """
+        if self.store is None:
+            return None
+        snapshot = self.snapshot()
+        with self._cond:
+            next_sequence = self._next_sequence
+        with activate(self._tracer):
+            path = self.store.record_snapshot(
+                snapshot,
+                self._incremental.dataset,
+                next_sequence=next_sequence,
+                base_algorithm=self._base.name,
+                reference_algorithm=self._base.name,
+                config=self._config,
+            )
+        self._batches_since_checkpoint = 0
+        return path
 
     def __enter__(self) -> "TruthService":
         self.start()
@@ -285,6 +365,110 @@ class TruthService:
 
     def __exit__(self, *exc_info) -> None:
         self.stop()
+
+    @classmethod
+    def restore(
+        cls,
+        store: TruthStore | str | Path,
+        base: TruthDiscoveryAlgorithm | None = None,
+        *,
+        config: TDACConfig | None = None,
+        partition_cache: PartitionCache | None = None,
+        tracer: SpanTracer | None = None,
+        **service_kwargs,
+    ) -> "TruthService":
+        """Resume a service from a store directory after a crash or stop.
+
+        Loads the latest valid checkpoint, replays the WAL tail —
+        committed batches first, then admitted-but-unsettled batches
+        (acknowledged admissions survive the crash; batches whose abort
+        record made it to disk stay rejected) — and returns a running
+        service whose published snapshot is bit-identical to an
+        uninterrupted run over the same claim prefix.  Finishes by
+        cutting a fresh checkpoint so the next restore replays nothing.
+
+        ``base`` and ``config`` default to what the checkpoint recorded
+        (the base algorithm is resolved through the
+        :mod:`repro.algorithms` registry by its stored name).
+        """
+        from repro.data.io import dataset_from_dict
+
+        store = open_store(store)
+        with activate(tracer):
+            recovery = store.recover()
+        if recovery.checkpoint is None:
+            raise StoreError(
+                f"no valid checkpoint under {store.root}; nothing to "
+                "restore (was the service ever started with this store?)"
+            )
+        meta = recovery.checkpoint["store"]
+        serving = recovery.checkpoint["result"].get("serving", {})
+        if base is None:
+            from repro.algorithms import create
+
+            base = create(meta["base_algorithm"])
+        if config is None:
+            config = config_from_dict(meta["config"])
+        dataset = dataset_from_dict(recovery.checkpoint["dataset"])
+        service = cls(
+            base,
+            dataset,
+            config=config,
+            partition_cache=partition_cache,
+            tracer=tracer,
+            store=store,
+            **service_kwargs,
+        )
+        if partition_cache is not None:
+            # Warm-start the sweep before the initial fit runs.
+            store.snapshots.seed_partition_cache(partition_cache)
+        service._version_base = int(serving.get("version", 1)) - 1
+        service._watermark_base = int(serving.get("watermark", 0))
+        service._resuming = True
+        try:
+            started = service.start()
+            if started.dataset_fingerprint != serving.get(
+                "dataset_fingerprint"
+            ):
+                warnings.warn(
+                    "restored dataset fingerprint "
+                    f"{started.dataset_fingerprint} does not match the "
+                    f"checkpoint's {serving.get('dataset_fingerprint')}",
+                    WALCorruptionWarning,
+                    stacklevel=2,
+                )
+            with activate(tracer):
+                for batch in recovery.batches:
+                    replayed = service._apply(list(batch.claims))
+                    if replayed.watermark != batch.watermark:
+                        warnings.warn(
+                            f"replayed batch reached watermark "
+                            f"{replayed.watermark} where its commit "
+                            f"record promised {batch.watermark}",
+                            WALCorruptionWarning,
+                            stacklevel=2,
+                        )
+                with service._cond:
+                    service._next_sequence = max(
+                        service._next_sequence, recovery.next_sequence
+                    )
+                for offset, claims in recovery.uncommitted:
+                    try:
+                        settled = service._apply(list(claims))
+                    except Exception as exc:
+                        store.append_abort(
+                            [(offset, len(claims))], repr(exc)
+                        )
+                    else:
+                        store.append_commit(
+                            settled.version,
+                            settled.watermark,
+                            [(offset, len(claims))],
+                        )
+            service.checkpoint()
+        finally:
+            service._resuming = False
+        return service
 
     # ------------------------------------------------------------------
     # Writes
@@ -321,6 +505,12 @@ class TruthService:
                     backlog, self.queue_capacity, retry_after
                 )
             ticket = IngestTicket(batch, offset=self._next_sequence)
+            if self.store is not None:
+                # Durability point: the admit record is on disk before
+                # the ticket (the admission ack) is ever visible.  A
+                # failed append admits nothing.
+                with activate(self._tracer):
+                    self.store.append_admit(ticket.offset, batch)
             self._next_sequence += len(batch)
             self._pending.append(ticket)
             self._pending_claims += len(batch)
@@ -381,6 +571,8 @@ class TruthService:
         out["engine"] = self._incremental.stats
         if self.partition_cache is not None:
             out["partition_cache"] = self.partition_cache.stats
+        if self.store is not None:
+            out["store"] = self.store.stats
         return out
 
     @property
@@ -399,16 +591,19 @@ class TruthService:
         bit-identical to.
         """
         log = self.claim_log
+        base = self._watermark_base
         if watermark is None:
-            watermark = len(log)
-        if not 0 <= watermark <= len(log):
+            watermark = base + len(log)
+        if not base <= watermark <= base + len(log):
             raise ValueError(
                 f"watermark {watermark} outside applied range "
-                f"[0, {len(log)}]"
+                f"[{base}, {base + len(log)}]"
             )
-        if watermark == 0:
+        if watermark == base:
             return self._initial_dataset
-        return extend_dataset(self._initial_dataset, list(log[:watermark]))
+        return extend_dataset(
+            self._initial_dataset, list(log[: watermark - base])
+        )
 
     def drain(self, timeout: float | None = None) -> bool:
         """Block until every admitted claim has been applied.
@@ -504,14 +699,29 @@ class TruthService:
                     "serve.batch.occupancy",
                     len(claims) / self.max_batch_size,
                 )
+                applied = [(t.offset, len(t.claims)) for t in tickets]
                 if error is not None:
                     tracer.count("serve.batch.errors")
+                    if self.store is not None:
+                        # Abort records settle the batch's admits so
+                        # compaction is never blocked by a rejection.
+                        self.store.append_abort(applied, repr(error))
                     for ticket in tickets:
                         ticket._fail(error)
                     continue
                 assert snapshot is not None
+                if self.store is not None:
+                    # Commit before resolving: a ticket that returned
+                    # from wait() is durably part of the replay history.
+                    self.store.append_commit(
+                        snapshot.version, snapshot.watermark, applied
+                    )
                 for ticket in tickets:
                     ticket._resolve(snapshot)
+                if self.store is not None:
+                    self._batches_since_checkpoint += 1
+                    if self._batches_since_checkpoint >= self.snapshot_every:
+                        self.checkpoint()
 
     def _apply(self, claims: list[Claim]) -> TruthSnapshot:
         """Refit on ``claims`` and publish the covering snapshot."""
@@ -542,7 +752,7 @@ class TruthService:
             exact = False
         with self._cond:
             self._applied.extend(claims)
-            watermark = len(self._applied)
+            watermark = self._watermark_base + len(self._applied)
             pending = self._pending_claims
         snapshot = TruthSnapshot(
             version=previous.version + 1,

@@ -27,7 +27,7 @@ from typing import Any, Mapping
 
 from repro.algorithms.base import TruthDiscoveryResult
 from repro.core.partition import Partition
-from repro.core.schema import result_to_dict
+from repro.core.schema import result_from_dict, result_to_dict
 from repro.data.types import AttributeId, Fact, ObjectId, SourceId, Value
 
 
@@ -75,3 +75,28 @@ class TruthSnapshot:
             "config_fingerprint": self.config_fingerprint,
         }
         return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TruthSnapshot":
+        """Rebuild a snapshot from its :meth:`to_dict` rendering.
+
+        The inverse up to JSON's type erasure (identifiers come back as
+        the strings the serializer emitted); used by the durable store
+        to resurrect the served state from a checkpoint file.
+        """
+        serving = payload.get("serving") or {}
+        blocks = payload.get("partition") or []
+        return cls(
+            version=int(serving.get("version", 0)),
+            watermark=int(serving.get("watermark", 0)),
+            result=result_from_dict(payload),
+            partition=Partition.from_blocks(blocks),
+            silhouette_by_k={
+                int(k): float(v)
+                for k, v in (payload.get("silhouette_by_k") or {}).items()
+            },
+            exact=bool(serving.get("exact", True)),
+            pending_claims=int(serving.get("pending_claims", 0)),
+            dataset_fingerprint=str(serving.get("dataset_fingerprint", "")),
+            config_fingerprint=str(serving.get("config_fingerprint", "")),
+        )

@@ -1,0 +1,157 @@
+"""Checksummed JSON-lines record envelopes for the claim WAL.
+
+Every WAL record is one line of JSON with a fixed envelope::
+
+    {"lsn": <int>, "type": <str>, "body": {...}, "crc": "xxxxxxxx"}
+
+``lsn`` (log sequence number) is a gap-free, monotonically increasing
+record counter across segment files; ``crc`` is the CRC-32 of the
+canonical serialization of the other three fields.  A reader therefore
+detects three distinct failure modes without any out-of-band metadata:
+
+* a **torn tail** — the final line of a segment is not valid JSON
+  (the process died mid-write);
+* a **corrupt record** — valid JSON whose checksum does not match
+  (bit rot, concurrent writers, manual editing);
+* a **sequence gap** — a record whose ``lsn`` is not the predecessor's
+  plus one (a lost or reordered write).
+
+Claims are encoded with :func:`encode_claim` / :func:`decode_claim`,
+which round-trip every value type the data model admits (strings,
+numbers, booleans, ``None`` and arbitrarily nested tuples) so a
+replayed claim compares ``==`` to the ingested one — the property the
+recovery bit-identity guarantee rests on.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+from typing import Any
+
+from repro.data.types import Claim, Value
+
+#: Version tag of the WAL record format, embedded in segment headers is
+#: unnecessary — the envelope itself is the contract.
+WAL_SCHEMA = "tdac-wal/v1"
+
+#: Record types the WAL reader understands.
+RECORD_TYPES = ("admit", "commit", "abort")
+
+
+class StoreError(RuntimeError):
+    """A durable-store invariant was violated."""
+
+
+class RecordCorruptError(StoreError):
+    """A WAL line failed parsing, checksum or sequence validation."""
+
+
+@dataclass(frozen=True)
+class Record:
+    """One decoded WAL record."""
+
+    lsn: int
+    type: str
+    body: dict[str, Any]
+
+
+def _canonical(lsn: int, type_: str, body: dict[str, Any]) -> bytes:
+    return json.dumps(
+        {"lsn": lsn, "type": type_, "body": body},
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+
+
+def record_checksum(lsn: int, type_: str, body: dict[str, Any]) -> str:
+    """CRC-32 (zero-padded hex) over the record's canonical form."""
+    return format(zlib.crc32(_canonical(lsn, type_, body)) & 0xFFFFFFFF, "08x")
+
+
+def encode_record(lsn: int, type_: str, body: dict[str, Any]) -> str:
+    """Render one WAL line (newline included)."""
+    if type_ not in RECORD_TYPES:
+        raise StoreError(f"unknown WAL record type {type_!r}")
+    payload = {
+        "lsn": lsn,
+        "type": type_,
+        "body": body,
+        "crc": record_checksum(lsn, type_, body),
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def decode_record(line: str) -> Record:
+    """Parse and validate one WAL line; raises :class:`RecordCorruptError`."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise RecordCorruptError(f"unparseable WAL line: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise RecordCorruptError("WAL line is not a JSON object")
+    try:
+        lsn = payload["lsn"]
+        type_ = payload["type"]
+        body = payload["body"]
+        crc = payload["crc"]
+    except KeyError as exc:
+        raise RecordCorruptError(f"WAL record missing field {exc}") from exc
+    if not isinstance(lsn, int) or not isinstance(body, dict):
+        raise RecordCorruptError("malformed WAL record envelope")
+    if type_ not in RECORD_TYPES:
+        raise RecordCorruptError(f"unknown WAL record type {type_!r}")
+    if record_checksum(lsn, type_, body) != crc:
+        raise RecordCorruptError(f"checksum mismatch on lsn {lsn}")
+    return Record(lsn=lsn, type=type_, body=body)
+
+
+# ----------------------------------------------------------------------
+# Claim <-> JSON encoding
+# ----------------------------------------------------------------------
+
+
+def encode_value(value: Value) -> Any:
+    """JSON-encode a claim value, tagging tuples so they round-trip."""
+    if isinstance(value, tuple):
+        return {"__tuple__": [encode_value(v) for v in value]}
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise StoreError(
+        f"claim value of type {type(value).__name__} is not WAL-serialisable"
+    )
+
+
+def decode_value(payload: Any) -> Value:
+    """Invert :func:`encode_value`."""
+    if isinstance(payload, dict):
+        if set(payload) == {"__tuple__"}:
+            return tuple(decode_value(v) for v in payload["__tuple__"])
+        raise RecordCorruptError(f"unknown tagged value {payload!r}")
+    if isinstance(payload, list):
+        raise RecordCorruptError("bare list is not a valid claim value")
+    return payload
+
+
+def encode_claim(claim: Claim) -> dict[str, Any]:
+    """Compact JSON record of one claim."""
+    return {
+        "s": claim.source,
+        "o": claim.object,
+        "a": claim.attribute,
+        "v": encode_value(claim.value),
+    }
+
+
+def decode_claim(payload: dict[str, Any]) -> Claim:
+    """Invert :func:`encode_claim`."""
+    try:
+        return Claim(
+            source=payload["s"],
+            object=payload["o"],
+            attribute=payload["a"],
+            value=decode_value(payload["v"]),
+        )
+    except (TypeError, KeyError) as exc:
+        raise RecordCorruptError(f"malformed claim record: {exc}") from exc

@@ -1,0 +1,320 @@
+"""Append-only, segment-rotated claim WAL with truncation detection.
+
+The WAL is a directory of JSON-lines segment files named by the LSN of
+their first record (``wal-00000000000000000042.jsonl``), so segments
+sort lexicographically into log order and a record's home segment is
+found without an index.  The highest-numbered segment is *active* (open
+for append); every other segment is *sealed* and immutable, which is
+what makes compaction a pure file deletion.
+
+Three durability levels (``sync=``):
+
+* ``"always"`` — ``fsync`` after every record;
+* ``"commit"`` (default) — ``flush`` every record, ``fsync`` only on
+  ``commit``/``abort`` records (the ones that change what recovery
+  replays);
+* ``"never"`` — OS-buffered writes only (tests, benchmarks).
+
+Reading is offset-based: :meth:`ClaimWAL.scan` walks the segments,
+validating each line's checksum and LSN continuity while tracking the
+byte offset of the last valid record.  A torn tail or a corrupt record
+stops the scan at that offset with a **loud**
+:class:`WALCorruptionWarning` — interior records after a corruption are
+never silently skipped, because replaying a log with a hole would
+produce a state no uninterrupted run could have reached.  Opening the
+WAL for append after such damage physically truncates the offending
+segment back to the last valid offset so subsequent appends never bury
+garbage inside an otherwise-valid file.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO
+
+from repro.store.records import (
+    Record,
+    RecordCorruptError,
+    StoreError,
+    decode_record,
+    encode_record,
+)
+
+#: Segment file name prefix/suffix; the 20-digit zero-padded first LSN
+#: in between keeps lexicographic order equal to log order.
+SEGMENT_PREFIX = "wal-"
+SEGMENT_SUFFIX = ".jsonl"
+
+#: Durability levels accepted by ``sync=``.
+SYNC_MODES = ("always", "commit", "never")
+
+
+class WALCorruptionWarning(UserWarning):
+    """Loud signal that the WAL lost records to truncation or corruption."""
+
+
+def segment_name(first_lsn: int) -> str:
+    """File name of the segment whose first record is ``first_lsn``."""
+    return f"{SEGMENT_PREFIX}{first_lsn:020d}{SEGMENT_SUFFIX}"
+
+
+def segment_first_lsn(path: Path) -> int:
+    """Invert :func:`segment_name`."""
+    stem = path.name[len(SEGMENT_PREFIX):-len(SEGMENT_SUFFIX)]
+    try:
+        return int(stem)
+    except ValueError as exc:
+        raise StoreError(f"not a WAL segment file: {path.name}") from exc
+
+
+@dataclass
+class WALScan:
+    """Everything one pass over the log learned.
+
+    ``records`` is the longest valid prefix of the log; ``warnings``
+    describes anything dropped to reach it.  ``damaged_segment`` /
+    ``valid_bytes`` locate the first invalid byte so the writer can
+    physically truncate before appending.
+    """
+
+    records: list[Record] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    damaged_segment: Path | None = None
+    valid_bytes: int = 0
+    next_lsn: int = 0
+
+
+class ClaimWAL:
+    """Append-only log of checksummed records across rotating segments."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        segment_max_records: int = 1024,
+        segment_max_bytes: int = 1 << 20,
+        sync: str = "commit",
+    ) -> None:
+        if segment_max_records < 1:
+            raise ValueError("segment_max_records must be at least 1")
+        if segment_max_bytes < 1:
+            raise ValueError("segment_max_bytes must be at least 1")
+        if sync not in SYNC_MODES:
+            raise ValueError(f"sync must be one of {SYNC_MODES}, got {sync!r}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.segment_max_records = segment_max_records
+        self.segment_max_bytes = segment_max_bytes
+        self.sync = sync
+        self._handle: IO[bytes] | None = None
+        self._active_path: Path | None = None
+        self._active_records = 0
+        self._active_bytes = 0
+        self.bytes_appended = 0
+        scan = self.scan(repair=True)
+        self._next_lsn = scan.next_lsn
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def next_lsn(self) -> int:
+        """LSN the next appended record will carry."""
+        return self._next_lsn
+
+    def segments(self) -> list[Path]:
+        """Segment files in log order."""
+        return sorted(
+            p
+            for p in self.directory.glob(f"{SEGMENT_PREFIX}*{SEGMENT_SUFFIX}")
+            if p.is_file()
+        )
+
+    def is_empty(self) -> bool:
+        """Whether the log holds no records at all."""
+        return self._next_lsn == 0
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def scan(self, repair: bool = False) -> WALScan:
+        """Validate the whole log, returning its longest valid prefix.
+
+        With ``repair=True`` a damaged segment is physically truncated
+        to its last valid byte (and any segments after it deleted), so
+        the log on disk afterwards equals the returned prefix.  Every
+        dropped record is reported through a
+        :class:`WALCorruptionWarning` — corruption is never silent.
+        """
+        scan = WALScan()
+        expected_first = None
+        stop = False
+        segments = self.segments()
+        for seg_index, path in enumerate(segments):
+            if stop:
+                scan.warnings.append(
+                    f"segment {path.name} follows a corrupt segment and "
+                    "was not replayed"
+                )
+                continue
+            first_lsn = segment_first_lsn(path)
+            if expected_first is not None and first_lsn != expected_first:
+                scan.warnings.append(
+                    f"segment {path.name} starts at lsn {first_lsn}, "
+                    f"expected {expected_first}; stopping replay"
+                )
+                scan.damaged_segment = path
+                scan.valid_bytes = 0
+                stop = True
+                continue
+            raw = path.read_bytes()
+            offset = 0
+            expected_lsn = first_lsn
+            last_segment = seg_index == len(segments) - 1
+            while offset < len(raw):
+                newline = raw.find(b"\n", offset)
+                torn = newline < 0
+                end = len(raw) if torn else newline + 1
+                line = raw[offset:end]
+                try:
+                    if torn:
+                        raise RecordCorruptError(
+                            "record has no trailing newline (torn write)"
+                        )
+                    record = decode_record(line.decode("utf-8"))
+                    if record.lsn != expected_lsn:
+                        raise RecordCorruptError(
+                            f"lsn {record.lsn} where {expected_lsn} was "
+                            "expected (sequence gap)"
+                        )
+                except (RecordCorruptError, UnicodeDecodeError) as exc:
+                    tail = torn and last_segment
+                    kind = "torn tail" if tail else "corrupt record"
+                    scan.warnings.append(
+                        f"{kind} in {path.name} at byte {offset}: {exc}; "
+                        f"recovering to last valid record (lsn "
+                        f"{expected_lsn - 1 if expected_lsn else 'none'}); "
+                        f"{len(raw) - offset} trailing byte(s) dropped"
+                    )
+                    scan.damaged_segment = path
+                    scan.valid_bytes = offset
+                    stop = True
+                    break
+                scan.records.append(record)
+                expected_lsn = record.lsn + 1
+                offset = end
+            expected_first = expected_lsn
+        scan.next_lsn = (
+            scan.records[-1].lsn + 1 if scan.records else 0
+        )
+        for message in scan.warnings:
+            warnings.warn(message, WALCorruptionWarning, stacklevel=2)
+        if repair and scan.damaged_segment is not None:
+            self._repair(scan)
+        return scan
+
+    def _repair(self, scan: WALScan) -> None:
+        """Truncate the damaged segment and drop everything after it."""
+        assert scan.damaged_segment is not None
+        damaged = scan.damaged_segment
+        drop = [p for p in self.segments() if p.name > damaged.name]
+        if scan.valid_bytes == 0:
+            damaged.unlink(missing_ok=True)
+        else:
+            with open(damaged, "r+b") as handle:
+                handle.truncate(scan.valid_bytes)
+        for path in drop:
+            path.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def append(self, type_: str, body: dict) -> int:
+        """Append one record; returns its LSN.
+
+        The record is on disk (to the level the ``sync`` mode promises)
+        when this returns, which is what lets the serving layer
+        acknowledge admissions before applying them.
+        """
+        line = encode_record(self._next_lsn, type_, body).encode("utf-8")
+        overflows = (
+            self._active_records >= self.segment_max_records
+            or (
+                self._active_records > 0
+                and self._active_bytes + len(line) > self.segment_max_bytes
+            )
+        )
+        if self._handle is None or overflows:
+            self._rotate()
+        assert self._handle is not None
+        self._handle.write(line)
+        self._handle.flush()
+        if self.sync == "always" or (
+            self.sync == "commit" and type_ in ("commit", "abort")
+        ):
+            os.fsync(self._handle.fileno())
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        self._active_records += 1
+        self._active_bytes += len(line)
+        self.bytes_appended += len(line)
+        return lsn
+
+    def _rotate(self) -> None:
+        """Seal the active segment and open a fresh one."""
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+        self._active_path = self.directory / segment_name(self._next_lsn)
+        if self._active_path.exists():
+            raise StoreError(
+                f"segment {self._active_path.name} already exists; "
+                "is another writer attached to this store?"
+            )
+        self._handle = open(self._active_path, "ab")
+        self._active_records = 0
+        self._active_bytes = 0
+
+    def flush(self) -> None:
+        """Force everything appended so far to disk (fsync)."""
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Flush and release the active segment handle."""
+        if self._handle is not None:
+            self.flush()
+            self._handle.close()
+            self._handle = None
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+
+    def compact(self, keep_from_lsn: int) -> list[Path]:
+        """Delete sealed segments wholly below ``keep_from_lsn``.
+
+        A sealed segment spans ``[first_lsn, next segment's first_lsn)``;
+        it can be folded once every record in it is at or below the
+        snapshot watermark's live frontier.  The active segment is never
+        touched.  Returns the deleted paths.
+        """
+        segments = self.segments()
+        removed: list[Path] = []
+        for path, successor in zip(segments, segments[1:]):
+            if path == self._active_path:
+                break
+            if segment_first_lsn(successor) <= keep_from_lsn:
+                path.unlink()
+                removed.append(path)
+            else:
+                break
+        return removed

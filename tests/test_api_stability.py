@@ -39,7 +39,10 @@ class TestPublicSurface:
         [
             ("repro.core", ["TDAC", "TDACConfig", "TDACResult",
                             "IncrementalTDAC", "PartitionCache",
-                            "RESULT_SCHEMA", "result_to_dict"]),
+                            "RESULT_SCHEMA", "result_to_dict",
+                            "result_from_dict", "config_from_dict"]),
+            ("repro.store", ["TruthStore", "ClaimWAL", "SnapshotStore",
+                             "WALCorruptionWarning", "StoreError"]),
             ("repro.execution", ["ExecutionPolicy"]),
             ("repro.observability", ["SpanTracer"]),
             ("repro.serving", ["TruthService", "TruthSnapshot",
@@ -55,7 +58,10 @@ class TestPublicSurface:
         from repro import TruthService, TruthSnapshot  # noqa: F401
 
     def test_version_matches_package_metadata(self):
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
+
+    def test_store_symbols_are_top_level(self):
+        from repro import TruthStore, store  # noqa: F401
 
 
 class TestTDACConfig:
@@ -142,3 +148,31 @@ class TestResultSchema:
         payload = result.to_dict()
         assert payload["schema"] == RESULT_SCHEMA
         assert payload["partition"] is None
+
+    def test_result_round_trips_through_from_dict(self, dataset):
+        import json
+
+        from repro.core import result_from_dict
+
+        result = MajorityVote().discover(dataset)
+        # Through real JSON, so type erasure (tuples -> arrays) applies.
+        payload = json.loads(json.dumps(result.to_dict(), sort_keys=True))
+        rebuilt = result_from_dict(payload)
+        assert rebuilt.algorithm == result.algorithm
+        assert rebuilt.iterations == result.iterations
+        assert dict(rebuilt.predictions) == {
+            fact: value for fact, value in result.predictions.items()
+        }
+        assert dict(rebuilt.source_trust) == dict(result.source_trust)
+        assert dict(rebuilt.confidence) == dict(result.confidence)
+        # And the rebuilt result re-serializes byte-identically.
+        assert (
+            json.dumps(rebuilt.to_dict(), sort_keys=True)
+            == json.dumps(result.to_dict(), sort_keys=True)
+        )
+
+    def test_result_from_dict_rejects_wrong_schema(self):
+        from repro.core import result_from_dict
+
+        with pytest.raises(ValueError):
+            result_from_dict({"schema": "tdac-result/v0"})

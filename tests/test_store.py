@@ -1,0 +1,321 @@
+"""Unit tests for :mod:`repro.store`: records, WAL, snapshots, facade.
+
+Corruption handling is the heart of the contract: a torn tail, a
+bit-flipped record or a sequence gap must recover to the last valid
+offset with a loud :class:`WALCorruptionWarning` — never a silent skip
+of interior records.
+"""
+
+import json
+
+import pytest
+
+from repro import MajorityVote, TDACConfig, TruthService
+from repro.core import PartitionCache, TDAC
+from repro.data import Claim
+from repro.datasets import make_synthetic
+from repro.store import (
+    ClaimWAL,
+    RecordCorruptError,
+    SnapshotStore,
+    StoreError,
+    TruthStore,
+    WALCorruptionWarning,
+    decode_claim,
+    decode_record,
+    encode_claim,
+    encode_record,
+    open_store,
+    snapshot_address,
+)
+from repro.store.wal import segment_first_lsn, segment_name
+
+
+@pytest.fixture
+def dataset():
+    return make_synthetic("DS1", n_objects=15, seed=11).dataset
+
+
+def fresh_claims(dataset, tag, count):
+    """``count`` new-object claims that can never conflict."""
+    source = dataset.sources[0]
+    attribute = dataset.attributes[0]
+    return [
+        Claim(source, f"obj-{tag}-{i}", attribute, f"v-{tag}-{i}")
+        for i in range(count)
+    ]
+
+
+class TestRecords:
+    def test_record_round_trip(self):
+        line = encode_record(7, "admit", {"offset": 7, "claims": []})
+        record = decode_record(line)
+        assert record.lsn == 7
+        assert record.type == "admit"
+        assert record.body == {"offset": 7, "claims": []}
+
+    def test_checksum_mismatch_detected(self):
+        line = encode_record(0, "commit", {"watermark": 3, "applied": []})
+        tampered = line.replace('"watermark":3', '"watermark":4')
+        with pytest.raises(RecordCorruptError):
+            decode_record(tampered)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(StoreError):
+            encode_record(0, "checkpoint", {})
+
+    def test_claim_round_trip_preserves_value_types(self):
+        for value in ["x", 3, 2.5, True, None, ("a", ("b", 1)), ()]:
+            claim = Claim("s", "o", "a", value)
+            assert decode_claim(encode_claim(claim)) == claim
+
+    def test_bare_list_value_rejected(self):
+        with pytest.raises(RecordCorruptError):
+            decode_claim({"s": "s", "o": "o", "a": "a", "v": [1, 2]})
+
+
+class TestClaimWAL:
+    def test_append_scan_round_trip(self, tmp_path):
+        wal = ClaimWAL(tmp_path, sync="never")
+        for i in range(5):
+            wal.append("admit", {"offset": i, "claims": []})
+        wal.close()
+        scan = ClaimWAL(tmp_path, sync="never").scan()
+        assert [r.lsn for r in scan.records] == list(range(5))
+        assert scan.next_lsn == 5
+        assert not scan.warnings
+
+    def test_segment_rotation_by_record_count(self, tmp_path):
+        wal = ClaimWAL(tmp_path, segment_max_records=2, sync="never")
+        for i in range(5):
+            wal.append("admit", {"offset": i, "claims": []})
+        wal.close()
+        names = [p.name for p in wal.segments()]
+        assert names == [segment_name(0), segment_name(2), segment_name(4)]
+        assert segment_first_lsn(wal.segments()[1]) == 2
+
+    def test_torn_tail_recovers_with_loud_warning(self, tmp_path):
+        wal = ClaimWAL(tmp_path, sync="never")
+        for i in range(3):
+            wal.append("admit", {"offset": i, "claims": []})
+        wal.close()
+        segment = wal.segments()[-1]
+        raw = segment.read_bytes()
+        segment.write_bytes(raw[:-7])  # tear the last record mid-line
+        with pytest.warns(WALCorruptionWarning, match="torn tail"):
+            reopened = ClaimWAL(tmp_path, sync="never")
+        assert reopened.next_lsn == 2
+        # The repair physically truncated the tail: a fresh scan is clean.
+        assert not reopened.scan().warnings
+        reopened.append("admit", {"offset": 2, "claims": []})
+        reopened.close()
+
+    def test_interior_corruption_never_silently_skipped(self, tmp_path):
+        wal = ClaimWAL(tmp_path, sync="never")
+        for i in range(4):
+            wal.append("admit", {"offset": i, "claims": []})
+        wal.close()
+        segment = wal.segments()[-1]
+        lines = segment.read_bytes().splitlines(keepends=True)
+        lines[1] = lines[1].replace(b'"offset":1', b'"offset":9')
+        segment.write_bytes(b"".join(lines))
+        with pytest.warns(WALCorruptionWarning, match="corrupt record"):
+            scan = ClaimWAL(tmp_path, sync="never").scan()
+        # Replay stops at the corruption; records 2 and 3 are *dropped
+        # with a warning*, not replayed around the hole.
+        assert [r.lsn for r in scan.records] == [0]
+
+    def test_missing_segment_detected(self, tmp_path):
+        wal = ClaimWAL(tmp_path, segment_max_records=2, sync="never")
+        for i in range(6):
+            wal.append("admit", {"offset": i, "claims": []})
+        wal.close()
+        wal.segments()[1].unlink()  # drop the middle segment
+        with pytest.warns(WALCorruptionWarning, match="expected"):
+            scan = ClaimWAL(tmp_path, sync="never").scan()
+        assert [r.lsn for r in scan.records] == [0, 1]
+
+    def test_compact_only_removes_fully_covered_sealed_segments(
+        self, tmp_path
+    ):
+        wal = ClaimWAL(tmp_path, segment_max_records=2, sync="never")
+        for i in range(7):
+            wal.append("admit", {"offset": i, "claims": []})
+        removed = wal.compact(keep_from_lsn=4)
+        assert [p.name for p in removed] == [segment_name(0), segment_name(2)]
+        assert [r.lsn for r in wal.scan().records] == [4, 5, 6]
+        wal.close()
+
+    def test_invalid_knobs(self, tmp_path):
+        with pytest.raises(ValueError):
+            ClaimWAL(tmp_path, segment_max_records=0)
+        with pytest.raises(ValueError):
+            ClaimWAL(tmp_path, sync="sometimes")
+
+
+def _stopped_service(tmp_path, dataset, claims=0, **kwargs):
+    """A started+stopped durable service, returning its store dir."""
+    store_dir = tmp_path / "store"
+    service = TruthService(
+        MajorityVote(),
+        dataset,
+        config=TDACConfig(seed=3),
+        store=store_dir,
+        max_wait_ms=1.0,
+        **kwargs,
+    )
+    service.start()
+    if claims:
+        service.ingest(fresh_claims(dataset, "seed", claims), wait=True)
+    service.stop()
+    return store_dir
+
+
+class TestSnapshotStore:
+    def test_checkpoint_files_are_content_addressed(self, tmp_path, dataset):
+        store_dir = _stopped_service(tmp_path, dataset, claims=3)
+        store = TruthStore(store_dir)
+        entries = store.snapshots.entries()
+        assert entries  # newest first
+        payload, path = store.snapshots.latest_valid()
+        serving = payload["result"]["serving"]
+        expected = snapshot_address(
+            serving["dataset_fingerprint"],
+            serving["config_fingerprint"],
+            serving["watermark"],
+        )
+        assert entries[0].address == expected
+        assert expected in path.name
+
+    def test_corrupt_snapshot_falls_back_loudly(self, tmp_path, dataset):
+        store_dir = _stopped_service(tmp_path, dataset, claims=3)
+        snapshots = SnapshotStore(store_dir / "snapshots")
+        newest = snapshots.entries()[0].path
+        payload = json.loads(newest.read_text())
+        payload["result"]["serving"]["watermark"] += 1  # breaks checksum
+        newest.write_text(json.dumps(payload))
+        with pytest.warns(WALCorruptionWarning, match="falling back"):
+            fallback, path = snapshots.latest_valid()
+        assert path != newest
+        assert fallback["store"]["checksum"]
+
+    def test_seed_partition_cache_matches_tdac_key(self, tmp_path, dataset):
+        store_dir = _stopped_service(tmp_path, dataset)
+        cache = PartitionCache()
+        seeded = TruthStore(store_dir).snapshots.seed_partition_cache(cache)
+        assert seeded >= 1
+        # A cold TDAC.run over the same corpus must hit the seeded entry.
+        outcome = TDAC(
+            MajorityVote(),
+            config=TDACConfig(seed=3),
+            partition_cache=cache,
+        ).run(dataset)
+        assert cache.stats["hits"] >= 1
+        assert outcome.partition.blocks  # partition replayed, not re-swept
+
+
+class TestTruthStore:
+    def test_open_store_passthrough(self, tmp_path):
+        store = TruthStore(tmp_path)
+        assert open_store(store) is store
+        with pytest.raises(StoreError):
+            open_store(store, sync="never")
+
+    def test_admit_commit_lifecycle_and_compaction(self, tmp_path, dataset):
+        store_dir = tmp_path / "store"
+        service = TruthService(
+            MajorityVote(),
+            dataset,
+            config=TDACConfig(seed=3),
+            store=TruthStore(store_dir, segment_max_records=2, sync="never"),
+            snapshot_every=1,
+            max_wait_ms=1.0,
+        )
+        service.start()
+        for j in range(4):
+            service.ingest(fresh_claims(dataset, f"t{j}", 2), wait=True)
+        service.stop()
+        store = TruthStore(store_dir)
+        kinds = store.inspect()["wal"]["records_by_type"]
+        assert kinds["admit"] == 4
+        assert kinds["commit"] == 4
+        outcome = store.compact()
+        assert outcome["removed_segments"]  # sealed prefix folded away
+        recovery = store.recover()
+        assert recovery.batches == []  # everything below the checkpoint
+        assert recovery.uncommitted == []
+
+    def test_rejected_batch_writes_abort_record(self, tmp_path, dataset):
+        store_dir = tmp_path / "store"
+        service = TruthService(
+            MajorityVote(),
+            dataset,
+            config=TDACConfig(seed=3),
+            store=store_dir,
+            max_wait_ms=1.0,
+        )
+        service.start()
+        good = fresh_claims(dataset, "ok", 2)
+        service.ingest(good, wait=True)
+        # Two sources claiming different values for one fact violates
+        # the accumulated one-truth constraint and fails the batch.
+        conflicting = [
+            Claim(dataset.sources[0], "obj-x", dataset.attributes[0], "a"),
+            Claim(dataset.sources[0], "obj-x", dataset.attributes[0], "b"),
+        ]
+        ticket = service.ingest(conflicting)
+        with pytest.raises(Exception):
+            ticket.wait(timeout=10.0)
+        service.stop()
+        store = TruthStore(store_dir)
+        kinds = store.inspect()["wal"]["records_by_type"]
+        assert kinds.get("abort", 0) == 1
+        recovery = store.recover()
+        assert recovery.aborted_claims == 2
+        assert recovery.uncommitted == []  # the abort settled the admit
+
+    def test_fresh_start_over_nonempty_store_refused(self, tmp_path, dataset):
+        store_dir = _stopped_service(tmp_path, dataset, claims=2)
+        service = TruthService(MajorityVote(), dataset, store=store_dir)
+        with pytest.raises(StoreError, match="restore"):
+            service.start()
+
+    def test_stats_expose_durability_counters(self, tmp_path, dataset):
+        store_dir = tmp_path / "store"
+        service = TruthService(
+            MajorityVote(),
+            dataset,
+            config=TDACConfig(seed=3),
+            store=store_dir,
+            max_wait_ms=1.0,
+        )
+        service.start()
+        service.ingest(fresh_claims(dataset, "t", 3), wait=True)
+        stats = service.stats["store"]
+        assert stats["durable_bytes"] > 0
+        assert stats["wal_records"] == 2  # one admit + one commit
+        assert stats["snapshots_written"] >= 1
+        service.stop()
+
+
+class TestStoreObservability:
+    def test_store_spans_and_counters_land_in_tracer(self, tmp_path, dataset):
+        from repro import SpanTracer
+
+        tracer = SpanTracer()
+        service = TruthService(
+            MajorityVote(),
+            dataset,
+            config=TDACConfig(seed=3),
+            store=tmp_path / "store",
+            snapshot_every=1,
+            max_wait_ms=1.0,
+            tracer=tracer,
+        )
+        service.start()
+        service.ingest(fresh_claims(dataset, "t", 2), wait=True)
+        service.stop()
+        span_names = {s.name for s in tracer.spans}
+        assert {"store.append", "store.flush"} <= span_names
+        assert tracer.counters["store.durable_bytes"] > 0
+        assert tracer.counters["store.commits"] == 1
