@@ -1,9 +1,9 @@
-.PHONY: install lint test test-fast test-faults test-serving test-store bench bench-smoke report examples clean
+.PHONY: install lint test test-fast test-faults test-serving test-store bench bench-smoke bench-base report examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test: lint bench-smoke test-faults test-serving test-store
+test: lint bench-smoke bench-base test-faults test-serving test-store
 	pytest tests/
 
 # Static checks: ruff when the container ships it, plus a bytecode
@@ -50,6 +50,17 @@ bench-smoke:
 	    --output benchmarks/output/BENCH_partition_select_smoke.json
 	test -s benchmarks/output/BENCH_partition_select_smoke.json
 
+# Reduced-scale run of the claim-index engine harness.  The harness
+# itself asserts the vectorized kernels match the reference loops bit
+# for bit before reporting any speedup, so this doubles as a regression
+# gate on engine correctness in the ordinary test flow.
+bench-base:
+	mkdir -p benchmarks/output
+	PYTHONPATH=src python benchmarks/bench_base_algorithms.py \
+	    --config smoke --repeat 1 \
+	    --output benchmarks/output/BENCH_base_algorithms_smoke.json
+	test -s benchmarks/output/BENCH_base_algorithms_smoke.json
+
 report:
 	python -c "from repro.evaluation.report import write_report; \
 	           print(write_report('benchmarks/output', 'EXPERIMENTS_MEASURED.md'))"
@@ -58,5 +69,6 @@ examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f; echo; done
 
 clean:
-	rm -rf benchmarks/output/BENCH_partition_select_smoke.json .pytest_cache .benchmarks
+	rm -rf benchmarks/output/BENCH_partition_select_smoke.json \
+	    benchmarks/output/BENCH_base_algorithms_smoke.json .pytest_cache .benchmarks
 	find . -name __pycache__ -type d -exec rm -rf {} +

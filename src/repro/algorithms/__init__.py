@@ -8,6 +8,7 @@ lists as future work (Sums, AverageLog, Investment, PooledInvestment,
 serve as the base algorithm ``F`` of TD-AC.
 """
 
+from repro.algorithms import kernels
 from repro.algorithms.accu import Accu, AccuSim, CopyDetector, Depen
 from repro.algorithms.catd import CATD
 from repro.algorithms.crh import CRH
@@ -56,6 +57,7 @@ __all__ = [
     "TwoEstimates",
     "available",
     "create",
+    "kernels",
     "levenshtein_distance",
     "numeric_similarity",
     "register",

@@ -25,9 +25,12 @@ rather than a Python double loop over source pairs.
 
 from __future__ import annotations
 
+from weakref import WeakKeyDictionary
+
 import numpy as np
 from scipy import sparse
 
+from repro.algorithms import kernels
 from repro.algorithms.base import EngineState, TruthDiscoveryAlgorithm
 from repro.algorithms.convergence import ConvergenceCriterion
 from repro.algorithms.similarity import SlotSimilarity
@@ -72,16 +75,14 @@ class CopyDetector:
         self.calibrate_true_agreement = calibrate_true_agreement
 
     def prepare(self, index: DatasetIndex) -> None:
-        """Precompute the iteration-independent incidence products."""
-        ones = np.ones(index.n_claims)
-        self._claims = sparse.csr_matrix(
-            (ones, (index.claim_source, index.claim_slot)),
-            shape=(index.n_sources, index.n_slots),
-        )
-        fact_incidence = sparse.csr_matrix(
-            (ones, (index.claim_source, index.claim_fact)),
-            shape=(index.n_sources, index.n_facts),
-        )
+        """Precompute the iteration-independent incidence products.
+
+        The claim/fact incidence matrices come from the shared index
+        (cached there, so repeated solves of the same block reuse them);
+        only the two Gram products are computed per detector.
+        """
+        self._claims = index.incidence_source_slot
+        fact_incidence = index.incidence_source_fact
         self._common_facts = np.asarray(
             (fact_incidence @ fact_incidence.T).todense(), dtype=float
         )
@@ -202,6 +203,28 @@ class CopyDetector:
         return float(max(alternatives.mean(), 1.0))
 
 
+def bayesian_vote_weights(
+    index: DatasetIndex,
+    accuracy: np.ndarray,
+    n_false_values: float,
+    estimate_accuracy: bool,
+    clamp: float,
+) -> np.ndarray:
+    """Per-source vote weights of the Accu family, clipped to be >= 0.
+
+    The single Bayesian vote-weight helper shared by Depen (uniform
+    weights), Accu and AccuSim (``ln(n * A / (1 - A))`` with the accuracy
+    clamped away from the extremes), so the discounted-vote kernel has
+    exactly one call site per iteration whatever the variant.
+    """
+    if estimate_accuracy:
+        clamped = np.clip(accuracy, clamp, 1.0 - clamp)
+        weight = np.log(n_false_values * clamped / (1.0 - clamped))
+    else:
+        weight = np.ones(index.n_sources, dtype=accuracy.dtype)
+    return np.clip(weight, 0.0, None)
+
+
 def discounted_votes(
     index: DatasetIndex,
     dependence: np.ndarray,
@@ -215,7 +238,29 @@ def discounted_votes(
     order; each provider's ``vote_weight`` is multiplied by the
     probability that its claim is independent of every already-counted
     provider of the same slot: ``prod(1 - c * P(dep))``.
+
+    Dispatches to the vectorized segment-reduction kernel; the original
+    per-slot loop is kept as the reference implementation (selected by
+    :func:`repro.algorithms.kernels.reference_kernels`) and the two are
+    bit-identical — the kernel evaluates the same products and the same
+    per-slot dot in the same order.
     """
+    if kernels.reference_enabled():
+        return _discounted_votes_reference(
+            index, dependence, accuracy, copy_rate, vote_weight
+        )
+    return _discounted_votes_vectorized(
+        index, dependence, accuracy, copy_rate, vote_weight
+    )
+
+
+def _discounted_votes_reference(
+    index: DatasetIndex,
+    dependence: np.ndarray,
+    accuracy: np.ndarray,
+    copy_rate: float,
+    vote_weight: np.ndarray,
+) -> np.ndarray:
     order = np.argsort(-accuracy, kind="stable")
     rank = np.empty_like(order)
     rank[order] = np.arange(len(order))
@@ -239,6 +284,98 @@ def discounted_votes(
         for i in range(1, len(providers)):
             independence[i] = np.prod(factors[i, :i])
         totals[slot_id] = float(np.dot(independence, vote_weight[providers]))
+    return totals
+
+
+#: Per-index cache of the iteration-independent pair structure used by
+#: the vectorized kernel.  Weakly keyed: dropping the index frees it.
+_PAIR_STRUCTURES: "WeakKeyDictionary[DatasetIndex, tuple]" = WeakKeyDictionary()
+
+
+def _pair_structure(index: DatasetIndex) -> tuple:
+    """Lower-triangle provider-pair layout of every multi-provider slot.
+
+    In slot-sorted claim order, provider ``i`` of a slot must be
+    discounted against providers ``j < i`` (in decreasing-accuracy
+    order).  Which (i, j) pairs exist depends only on the slot sizes, so
+    the flattened pair positions are computed once per index:
+
+    ``pos_i`` / ``pos_j`` index into the slot-sorted claim sequence;
+    ``row_starts`` delimits each provider's run of pairs so the
+    independence products are one ``np.multiply.reduceat``; ``row_pos``
+    maps each run back to its provider position.  Singleton slots are
+    kept separately — their vote is just the provider's weight.
+    """
+    cached = _PAIR_STRUCTURES.get(index)
+    if cached is not None:
+        return cached
+    starts = index.slot_claim_starts
+    sizes = np.diff(starts)
+    local = np.arange(index.n_claims) - np.repeat(starts[:-1], sizes)
+    row_pos = np.flatnonzero(local >= 1)
+    row_len = local[row_pos]
+    row_starts = np.concatenate(([0], np.cumsum(row_len))).astype(np.int64)
+    pos_i = np.repeat(row_pos, row_len)
+    slot_start_of_row = np.repeat(starts[:-1], sizes)[row_pos]
+    pos_j = (
+        np.arange(len(pos_i), dtype=np.int64)
+        - np.repeat(row_starts[:-1], row_len)
+        + np.repeat(slot_start_of_row, row_len)
+    )
+    single = sizes == 1
+    single_slots = np.flatnonzero(single)
+    single_pos = starts[:-1][single]
+    multi_slots = np.flatnonzero(~single)
+    multi = list(
+        zip(
+            multi_slots.tolist(),
+            starts[:-1][~single].tolist(),
+            starts[1:][~single].tolist(),
+        )
+    )
+    cached = (row_pos, row_starts, pos_i, pos_j, single_slots, single_pos, multi)
+    _PAIR_STRUCTURES[index] = cached
+    return cached
+
+
+def _discounted_votes_vectorized(
+    index: DatasetIndex,
+    dependence: np.ndarray,
+    accuracy: np.ndarray,
+    copy_rate: float,
+    vote_weight: np.ndarray,
+) -> np.ndarray:
+    totals = np.zeros(index.n_slots, dtype=float)
+    if index.n_claims == 0:
+        return totals
+    order = np.argsort(-accuracy, kind="stable")
+    rank = np.empty_like(order)
+    rank[order] = np.arange(len(order))
+
+    # Claims sorted by (slot, provider accuracy rank): the composite key
+    # is unique (one claim per source per slot), so this reproduces the
+    # reference per-slot provider order in one global argsort.
+    slot_sorted = index.claims_slot_sorted
+    key = index.claim_slot[slot_sorted] * np.int64(index.n_sources)
+    key += rank[index.claim_source[slot_sorted]]
+    perm = np.argsort(key, kind="stable")
+    src = index.claim_source[slot_sorted][perm]
+
+    row_pos, row_starts, pos_i, pos_j, single_slots, single_pos, multi = (
+        _pair_structure(index)
+    )
+    independence = np.ones(index.n_claims, dtype=float)
+    if len(pos_i):
+        factors = 1.0 - copy_rate * dependence[src[pos_i], src[pos_j]]
+        # One multiply.reduceat evaluates every provider's running
+        # product prod(factors[i, :i]) exactly as np.prod would.
+        independence[row_pos] = np.multiply.reduceat(factors, row_starts[:-1])
+    weights = vote_weight[src]
+    totals[single_slots] = weights[single_pos]
+    # Per-slot np.dot keeps the reference BLAS summation order, so the
+    # totals are bitwise equal to the loop implementation.
+    for slot_id, start, stop in multi:
+        totals[slot_id] = np.dot(independence[start:stop], weights[start:stop])
     return totals
 
 
@@ -321,15 +458,17 @@ class _AccuBase(TruthDiscoveryAlgorithm):
         )
         detector.prepare(index)
         similarity = (
-            SlotSimilarity(index) if self.similarity_weight > 0 else None
+            SlotSimilarity.shared(index) if self.similarity_weight > 0 else None
         )
-        accuracy = np.full(index.n_sources, self.initial_accuracy)
+        accuracy = np.full(index.n_sources, self.initial_accuracy, dtype=index.dtype)
         n = detector._false_domain_size()
 
         # Bootstrap the working truth with a plain majority vote.
         winners = index.winning_slots(index.votes_per_slot)
         confidence = index.normalize_per_fact(index.votes_per_slot)
-        no_dependence = np.zeros((index.n_sources, index.n_sources))
+        no_dependence = np.zeros(
+            (index.n_sources, index.n_sources), dtype=index.dtype
+        )
         iterations = 0
         for iterations in range(1, self.max_iterations + 1):
             # Copy-detection evidence is gated to facts where the working
@@ -350,14 +489,9 @@ class _AccuBase(TruthDiscoveryAlgorithm):
                 dependence = detector.dependence(
                     winners, accuracy, fact_confident
                 )
-            if self.estimate_accuracy:
-                clamped = np.clip(
-                    accuracy, self._WEIGHT_CLAMP, 1.0 - self._WEIGHT_CLAMP
-                )
-                weight = np.log(n * clamped / (1.0 - clamped))
-            else:
-                weight = np.ones(index.n_sources)
-            weight = np.clip(weight, 0.0, None)
+            weight = bayesian_vote_weights(
+                index, accuracy, n, self.estimate_accuracy, self._WEIGHT_CLAMP
+            )
             votes = discounted_votes(
                 index, dependence, accuracy, detector.copy_rate, weight
             )

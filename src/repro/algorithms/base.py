@@ -100,6 +100,13 @@ class TruthDiscoveryAlgorithm(ABC):
     #: Display name; subclasses override.
     name: str = "abstract"
 
+    #: Whether :meth:`discover` accepts a pre-compiled
+    #: :class:`DatasetIndex` (all index-solving algorithms do).  Meta
+    #: algorithms that override :meth:`discover` to run a full pipeline
+    #: over the raw Dataset (e.g. TDAC itself) set this False so block
+    #: runners hand them datasets instead of sliced index views.
+    supports_index: bool = True
+
     def discover(self, data: Dataset | DatasetIndex) -> TruthDiscoveryResult:
         """Run the algorithm and return its result.
 

@@ -56,8 +56,8 @@ class TwoEstimates(TruthDiscoveryAlgorithm):
         self.max_iterations = max_iterations
 
     def _solve(self, index: DatasetIndex) -> EngineState:
-        trust = np.full(index.n_sources, 0.8, dtype=float)
-        belief = np.zeros(index.n_slots, dtype=float)
+        trust = np.full(index.n_sources, 0.8, dtype=index.dtype)
+        belief = np.zeros(index.n_slots, dtype=index.dtype)
         # Number of sources covering every fact (voters on each slot).
         fact_voters = index.claims_per_fact
         iterations = 0
@@ -66,11 +66,7 @@ class TwoEstimates(TruthDiscoveryAlgorithm):
             # the fact's other voters with (1 - trust).
             positive = index.slot_scores(trust)
             one_minus = 1.0 - trust
-            covered_negative = np.bincount(
-                index.claim_fact,
-                weights=one_minus[index.claim_source],
-                minlength=index.n_facts,
-            )
+            covered_negative = index.sum_per_fact(one_minus[index.claim_source])
             negative = covered_negative[index.slot_fact] - index.slot_scores(one_minus)
             belief = (positive + negative) / np.maximum(
                 fact_voters[index.slot_fact], 1.0
@@ -86,12 +82,8 @@ class TwoEstimates(TruthDiscoveryAlgorithm):
                 + fact_disbelief[index.claim_fact]
             )
             votes_cast = index.slots_per_fact[index.claim_fact]
-            sums = np.bincount(
-                index.claim_source, weights=agreement, minlength=index.n_sources
-            )
-            totals = np.bincount(
-                index.claim_source, weights=votes_cast, minlength=index.n_sources
-            )
+            sums = index.sum_per_source(agreement)
+            totals = index.sum_per_source(votes_cast)
             new_trust = np.where(totals > 0, sums / np.maximum(totals, 1.0), 0.0)
             new_trust = np.clip(
                 _rescale(new_trust, self.rescale_strength), _EPSILON, 1.0
@@ -113,9 +105,9 @@ class ThreeEstimates(TwoEstimates):
     name = "3-Estimates"
 
     def _solve(self, index: DatasetIndex) -> EngineState:
-        error = np.full(index.n_sources, 0.2, dtype=float)
-        difficulty = np.full(index.n_slots, 0.5, dtype=float)
-        belief = np.full(index.n_slots, 0.5, dtype=float)
+        error = np.full(index.n_sources, 0.2, dtype=index.dtype)
+        difficulty = np.full(index.n_slots, 0.5, dtype=index.dtype)
+        belief = np.full(index.n_slots, 0.5, dtype=index.dtype)
         fact_voters = index.claims_per_fact
         iterations = 0
         for iterations in range(1, self.max_iterations + 1):
@@ -125,14 +117,10 @@ class ThreeEstimates(TwoEstimates):
             vote_quality = 1.0 - np.clip(
                 error[index.claim_source] * difficulty[index.claim_slot], 0.0, 1.0
             )
-            positive = np.bincount(
-                index.claim_slot, weights=vote_quality, minlength=index.n_slots
-            )
+            positive = index.sum_per_slot(vote_quality)
             # Negative evidence against v: other voters of the fact.
-            fact_quality = np.bincount(
-                index.claim_fact,
-                weights=1.0 - error[index.claim_source] * 0.5,
-                minlength=index.n_facts,
+            fact_quality = index.sum_per_fact(
+                1.0 - error[index.claim_source] * 0.5
             )
             negative_votes = (
                 fact_voters[index.slot_fact] - index.votes_per_slot
@@ -149,21 +137,15 @@ class ThreeEstimates(TwoEstimates):
             claimed_belief = belief[index.claim_slot]
             miss = 1.0 - claimed_belief
             safe_error = np.clip(error, _EPSILON, 1.0)
-            diff_num = np.bincount(
-                index.claim_slot,
-                weights=miss / safe_error[index.claim_source],
-                minlength=index.n_slots,
-            )
+            diff_num = index.sum_per_slot(miss / safe_error[index.claim_source])
             difficulty = np.clip(
                 diff_num / np.maximum(index.votes_per_slot, 1.0), _EPSILON, 1.0
             )
 
             # Error: average miss scaled by value difficulty.
             safe_difficulty = np.clip(difficulty, _EPSILON, 1.0)
-            err_num = np.bincount(
-                index.claim_source,
-                weights=miss / safe_difficulty[index.claim_slot],
-                minlength=index.n_sources,
+            err_num = index.sum_per_source(
+                miss / safe_difficulty[index.claim_slot]
             )
             new_error = np.clip(
                 err_num / np.maximum(index.claims_per_source, 1.0), _EPSILON, 1.0

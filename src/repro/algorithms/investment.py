@@ -38,8 +38,8 @@ class Investment(TruthDiscoveryAlgorithm):
 
     def _solve(self, index: DatasetIndex) -> EngineState:
         counts = np.maximum(index.claims_per_source, 1.0)
-        trust = np.ones(index.n_sources, dtype=float)
-        belief = np.zeros(index.n_slots, dtype=float)
+        trust = np.ones(index.n_sources, dtype=index.dtype)
+        belief = np.zeros(index.n_slots, dtype=index.dtype)
         iterations = 0
         for iterations in range(1, self.max_iterations + 1):
             per_claim = trust / counts
@@ -49,10 +49,8 @@ class Investment(TruthDiscoveryAlgorithm):
             # Each source earns back belief in proportion to its share of
             # every slot's total investment.
             payout = belief / safe_invested
-            new_trust = np.bincount(
-                index.claim_source,
-                weights=per_claim[index.claim_source] * payout[index.claim_slot],
-                minlength=index.n_sources,
+            new_trust = index.sum_per_source(
+                per_claim[index.claim_source] * payout[index.claim_slot]
             )
             trust_max = new_trust.max(initial=0.0)
             if trust_max > 0:

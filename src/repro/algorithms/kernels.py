@@ -1,0 +1,41 @@
+"""Process-wide switch between vectorized and reference kernels.
+
+The claim-index engine rewrites the hot per-iteration loops of the base
+algorithms (dependence-discounted voting, similarity support) as segment
+reductions, and replaces the per-block ``restrict_attributes`` dataset
+rebuilds with sliced views of one shared :class:`~repro.data.claim_engine.
+ClaimIndexEngine`.  Every one of those rewrites is bit-identical to the
+loop it replaced, and the benchmarks and regression tests prove it by
+running both paths in the same process and comparing outputs exactly.
+
+:func:`reference_kernels` is that proof's lever: inside the context the
+original loop implementations and the legacy per-block dataset rebuilds
+are used instead of the vectorized engine.  It is a plain module global
+(not a context variable) so worker threads spawned by the block executor
+observe the same mode as the caller; it is meant for benchmarks and
+tests, not for concurrent toggling from production code.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+_REFERENCE = False
+
+
+@contextmanager
+def reference_kernels() -> Iterator[None]:
+    """Run the enclosed code on the pre-engine loop implementations."""
+    global _REFERENCE
+    previous = _REFERENCE
+    _REFERENCE = True
+    try:
+        yield
+    finally:
+        _REFERENCE = previous
+
+
+def reference_enabled() -> bool:
+    """Whether the reference (loop) kernels are currently selected."""
+    return _REFERENCE

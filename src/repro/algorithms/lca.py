@@ -54,7 +54,7 @@ class SimpleLCA(TruthDiscoveryAlgorithm):
         self.max_iterations = max_iterations
 
     def _solve(self, index: DatasetIndex) -> EngineState:
-        honesty = np.full(index.n_sources, self.initial_honesty)
+        honesty = np.full(index.n_sources, self.initial_honesty, dtype=index.dtype)
         # Number of candidate values of every fact, >= 1.
         m = np.maximum(index.slots_per_fact, 1.0)
         wrong_denominator = np.maximum(m - 1.0, 1.0)[index.claim_fact]
@@ -70,19 +70,9 @@ class SimpleLCA(TruthDiscoveryAlgorithm):
             #   sum over claimers of v of log H(s)
             # + sum over the fact's OTHER claimers of log((1-H)/ (m-1)).
             claim_log_h = log_h[index.claim_source]
-            support = np.bincount(
-                index.claim_slot, weights=claim_log_h, minlength=index.n_slots
-            )
-            fact_wrong_total = np.bincount(
-                index.claim_fact,
-                weights=log_wrong_claim,
-                minlength=index.n_facts,
-            )
-            slot_wrong = np.bincount(
-                index.claim_slot,
-                weights=log_wrong_claim,
-                minlength=index.n_slots,
-            )
+            support = index.sum_per_slot(claim_log_h)
+            fact_wrong_total = index.sum_per_fact(log_wrong_claim)
+            slot_wrong = index.sum_per_slot(log_wrong_claim)
             log_likelihood = (
                 support + fact_wrong_total[index.slot_fact] - slot_wrong
             )

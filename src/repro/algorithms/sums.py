@@ -35,19 +35,15 @@ class Sums(TruthDiscoveryAlgorithm):
         self.max_iterations = max_iterations
 
     def _solve(self, index: DatasetIndex) -> EngineState:
-        trust = np.ones(index.n_sources, dtype=float)
-        belief = np.zeros(index.n_slots, dtype=float)
+        trust = np.ones(index.n_sources, dtype=index.dtype)
+        belief = np.zeros(index.n_slots, dtype=index.dtype)
         iterations = 0
         for iterations in range(1, self.max_iterations + 1):
             belief = index.slot_scores(trust)
             belief_max = belief.max(initial=0.0)
             if belief_max > 0:
                 belief = belief / belief_max
-            new_trust = np.bincount(
-                index.claim_source,
-                weights=belief[index.claim_slot],
-                minlength=index.n_sources,
-            )
+            new_trust = index.sum_per_source(belief[index.claim_slot])
             trust_max = new_trust.max(initial=0.0)
             if trust_max > 0:
                 new_trust = new_trust / trust_max
@@ -79,8 +75,8 @@ class AverageLog(TruthDiscoveryAlgorithm):
         # Sources with a single claim would get log(1) = 0 trust forever;
         # give them the minimal positive weight instead.
         log_weight = np.where(counts > 0, np.maximum(log_weight, np.log(2.0) / 2), 0.0)
-        trust = np.ones(index.n_sources, dtype=float)
-        belief = np.zeros(index.n_slots, dtype=float)
+        trust = np.ones(index.n_sources, dtype=index.dtype)
+        belief = np.zeros(index.n_slots, dtype=index.dtype)
         iterations = 0
         for iterations in range(1, self.max_iterations + 1):
             belief = index.slot_scores(trust)

@@ -25,6 +25,8 @@ import hashlib
 import json
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.execution import ExecutionPolicy, validate_backend
 
 #: In ``sparse="auto"`` mode the sparse distance kernels take over once
@@ -74,6 +76,21 @@ class TDACConfig:
         deterministic sequential fallback) on both parallel surfaces.
         ``None`` uses :data:`~repro.execution.DEFAULT_POLICY`.  Every
         recovery path reproduces the sequential results bit for bit.
+    dtype:
+        Working precision of the claim-index engine: ``"float64"``
+        (default, bit-identical to the historical loops) or
+        ``"float32"`` — an opt-in reduced-precision path that halves
+        per-iteration array memory and routes incidence reductions
+        through CSR GEMV.  float32 *does* change results (documented
+        tolerance in ``tests/test_vectorized_engine.py``), so a
+        non-default value feeds the fingerprint.
+    memmap_threshold:
+        When set, truth-vector matrices whose dense cell count reaches
+        the threshold are allocated as anonymous memory-mapped arrays
+        instead of RAM, letting out-of-core datasets build Eq. 1 without
+        holding ``|A| * |O| * |S|`` bytes resident.  ``None`` (default)
+        disables mapping.  Purely a placement knob — the filled values
+        are identical — so it never affects the fingerprint.
     """
 
     distance: str = "hamming"
@@ -86,6 +103,8 @@ class TDACConfig:
     sparse: bool | str = "auto"
     sparse_threshold: int = DEFAULT_SPARSE_THRESHOLD
     execution_policy: ExecutionPolicy | None = None
+    dtype: str = "float64"
+    memmap_threshold: int | None = None
 
     def __post_init__(self) -> None:
         if self.distance not in ("hamming", "masked"):
@@ -103,6 +122,12 @@ class TDACConfig:
             )
         if self.sparse_threshold < 0:
             raise ValueError("sparse_threshold must be non-negative")
+        if self.dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"dtype must be 'float64' or 'float32', got {self.dtype!r}"
+            )
+        if self.memmap_threshold is not None and self.memmap_threshold < 0:
+            raise ValueError("memmap_threshold must be non-negative or None")
 
     # ------------------------------------------------------------------
 
@@ -110,16 +135,26 @@ class TDACConfig:
         """A copy of this config with ``changes`` applied (re-validated)."""
         return dataclasses.replace(self, **changes)
 
+    @property
+    def dtype_np(self) -> np.dtype:
+        """The working dtype as a numpy dtype object."""
+        return np.dtype(self.dtype)
+
     def fingerprint(self) -> str:
         """Stable digest of the result-affecting knobs.
 
         Two configs with equal fingerprints are guaranteed to select the
         same partition and produce the same merged result on the same
-        dataset; they may still differ in performance knobs.
+        dataset; they may still differ in performance knobs.  ``dtype``
+        enters the payload only when it deviates from the bit-identical
+        float64 default, so fingerprints recorded by older checkpoints
+        keep validating.
         """
         payload = {
             name: getattr(self, name) for name in RESULT_AFFECTING_FIELDS
         }
+        if self.dtype != "float64":
+            payload["dtype"] = self.dtype
         blob = json.dumps(payload, sort_keys=True, default=repr)
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
@@ -136,6 +171,8 @@ class TDACConfig:
             "backend": self.backend,
             "sparse": self.sparse,
             "sparse_threshold": self.sparse_threshold,
+            "dtype": self.dtype,
+            "memmap_threshold": self.memmap_threshold,
             "execution_policy": (
                 None
                 if policy is None

@@ -21,8 +21,10 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.algorithms import kernels
 from repro.algorithms.base import TruthDiscoveryAlgorithm, TruthDiscoveryResult
 from repro.core.cache import PartitionCache
+from repro.data.claim_engine import ClaimIndexEngine
 from repro.core.config import TDACConfig
 from repro.core.partition import Partition
 from repro.core.tdac import TDAC, TDACResult
@@ -80,6 +82,7 @@ class IncrementalTDAC:
         self._claims_since_fit = 0
         self._n_full_fits = 0
         self._n_block_refreshes = 0
+        self._engine: ClaimIndexEngine | None = None
 
     # ------------------------------------------------------------------
 
@@ -121,6 +124,7 @@ class IncrementalTDAC:
         )
         self._claims_since_fit = 0
         self._n_full_fits += 1
+        self._pin_engine()
         return outcome
 
     def update(self, claims: Iterable[Claim]) -> TruthDiscoveryResult:
@@ -149,10 +153,15 @@ class IncrementalTDAC:
                 list(self._partition.blocks) + [tuple(new_attributes)]
             )
         touched_attributes = {c.attribute for c in batch}
+        self._pin_engine()
+        engine = self._engine
         for block in self._partition.blocks:
             if touched_attributes & set(block) or block not in self._block_results:
-                block_dataset = self._dataset.restrict_attributes(block)
-                self._block_results[block] = self.base.discover(block_dataset)
+                if engine is None:
+                    block_data = self._dataset.restrict_attributes(block)
+                else:
+                    block_data = engine.block_index(block)
+                self._block_results[block] = self.base.discover(block_data)
                 self._n_block_refreshes += 1
         # Drop results of blocks that no longer exist (after parking).
         current = set(self._partition.blocks)
@@ -164,6 +173,23 @@ class IncrementalTDAC:
         return self._merged()
 
     # ------------------------------------------------------------------
+
+    def _pin_engine(self) -> None:
+        """Hold a strong reference to the current dataset's claim engine.
+
+        The shared-engine registry is weak-keyed on the dataset, so
+        without a pin the compiled incidence structure would be garbage
+        collected between batches; pinning keeps it warm across
+        snapshots for as long as the dataset stays current.  The serving
+        layer's refits (both full and incremental mode) run through this
+        object, so they inherit the warm state automatically.
+        """
+        if kernels.reference_enabled() or not self.base.supports_index:
+            self._engine = None
+        else:
+            self._engine = ClaimIndexEngine.shared(
+                self._dataset, dtype=self.config.dtype_np
+            )
 
     def _merged(self) -> TruthDiscoveryResult:
         predictions: dict[Fact, Value] = {}

@@ -16,9 +16,12 @@ for Python-bound base algorithms.
 
 from __future__ import annotations
 
+from repro.algorithms import kernels
 from repro.algorithms.base import TruthDiscoveryAlgorithm, TruthDiscoveryResult
 from repro.core.partition import Partition
+from repro.data.claim_engine import ClaimIndexEngine
 from repro.data.dataset import Dataset
+from repro.data.index import DatasetIndex
 from repro.execution import (  # noqa: F401  (re-exported for callers)
     BACKENDS,
     ExecutionPolicy,
@@ -30,10 +33,10 @@ from repro.observability import current_tracer
 
 
 def _discover(
-    algorithm: TruthDiscoveryAlgorithm, dataset: Dataset
+    algorithm: TruthDiscoveryAlgorithm, data: Dataset | DatasetIndex
 ) -> TruthDiscoveryResult:
     """Module-level trampoline so the process backend can pickle it."""
-    return algorithm.discover(dataset)
+    return algorithm.discover(data)
 
 
 def run_blocks(
@@ -43,6 +46,7 @@ def run_blocks(
     n_jobs: int = 1,
     backend: str = "threads",
     policy: ExecutionPolicy | None = None,
+    engine: ClaimIndexEngine | None = None,
 ) -> list[TruthDiscoveryResult]:
     """Run ``algorithm`` on every block of ``partition``.
 
@@ -52,14 +56,27 @@ def run_blocks(
     merged output is identical whatever ``n_jobs`` and ``backend``.
     ``policy`` governs retry / fallback on worker failure; the stage is
     traced as ``block_runs`` by the ambient tracer.
+
+    Block inputs come from a shared :class:`ClaimIndexEngine`: each block
+    is a sliced view of the dataset's one compiled index (bit-identical
+    to compiling ``dataset.restrict_attributes(block)``, see the engine's
+    docs), so no per-block dataset rebuild happens.  ``engine`` lets
+    callers that already hold one (TDAC, the serving layer) pass it in;
+    ``None`` uses the dataset's shared engine.  The reference-kernel mode
+    restores the historical restrict-then-recompile path.
     """
     with current_tracer().span("block_runs", n_blocks=partition.n_blocks):
-        block_datasets = [
-            dataset.restrict_attributes(block) for block in partition.blocks
-        ]
+        if kernels.reference_enabled() or not algorithm.supports_index:
+            tasks: list[Dataset | DatasetIndex] = [
+                dataset.restrict_attributes(block) for block in partition.blocks
+            ]
+        else:
+            if engine is None:
+                engine = ClaimIndexEngine.shared(dataset)
+            tasks = [engine.block_index(block) for block in partition.blocks]
         return ordered_map(
             _discover,
-            [(algorithm, block) for block in block_datasets],
+            [(algorithm, task) for task in tasks],
             n_jobs=n_jobs,
             backend=backend,
             policy=policy,

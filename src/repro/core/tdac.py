@@ -46,6 +46,8 @@ from repro.core.config import (
 from repro.core.parallel import run_blocks
 from repro.core.partition import Partition
 from repro.core.truth_vectors import TruthVectorMatrix, build_truth_vectors
+from repro.algorithms import kernels
+from repro.data.claim_engine import ClaimIndexEngine
 from repro.data.dataset import Dataset
 from repro.data.types import Fact, SourceId, Value
 from repro.execution import ExecutionPolicy
@@ -199,6 +201,10 @@ class TDAC(TruthDiscoveryAlgorithm):
     def execution_policy(self) -> ExecutionPolicy | None:
         return self.config.execution_policy
 
+    #: TDAC's discover() runs the full pipeline over a raw Dataset; it
+    #: cannot consume a pre-sliced DatasetIndex view.
+    supports_index = False
+
     @property
     def name(self) -> str:  # type: ignore[override]
         return f"TD-AC (F={self.base.name})"
@@ -221,9 +227,21 @@ class TDAC(TruthDiscoveryAlgorithm):
         tracer = current_tracer()
         start = time.perf_counter()
         with tracer.span("reference"):
-            reference = self.reference_algorithm.discover(dataset)
+            engine = self._claim_engine(dataset)
+            if engine is None or not self.reference_algorithm.supports_index:
+                # TDAC-as-reference (ablation nesting) runs its own full
+                # pipeline and needs the Dataset, not an index view.
+                reference = self.reference_algorithm.discover(dataset)
+            else:
+                reference = self.reference_algorithm.discover(
+                    engine.full_index
+                )
         with tracer.span("truth_vectors"):
-            vectors = build_truth_vectors(dataset, reference)
+            vectors = build_truth_vectors(
+                dataset,
+                reference,
+                memmap_threshold=self.config.memmap_threshold,
+            )
         partition, silhouettes = self._select_with_cache(dataset, vectors)
         block_results = run_blocks(
             self.base,
@@ -232,6 +250,7 @@ class TDAC(TruthDiscoveryAlgorithm):
             n_jobs=self.n_jobs,
             backend=self.backend,
             policy=self.execution_policy,
+            engine=engine,
         )
         with tracer.span("merge"):
             merged = self._merge(dataset, partition, block_results, start)
@@ -262,10 +281,24 @@ class TDAC(TruthDiscoveryAlgorithm):
             n_jobs=self.n_jobs,
             backend=self.backend,
             policy=self.execution_policy,
+            engine=self._claim_engine(dataset),
         )
         with current_tracer().span("merge"):
             merged = self._merge(dataset, partition, block_results, start)
         return merged, tuple(block_results)
+
+    def _claim_engine(self, dataset: Dataset) -> ClaimIndexEngine | None:
+        """The dataset's shared claim-index engine under this config.
+
+        One engine per (dataset, working dtype) serves both the
+        reference pass (its full index) and every per-block run (sliced
+        views), so the incidence structure is compiled exactly once.
+        ``None`` in reference-kernel mode, where every stage must take
+        the historical per-block recompile path.
+        """
+        if kernels.reference_enabled():
+            return None
+        return ClaimIndexEngine.shared(dataset, dtype=self.config.dtype_np)
 
     # ------------------------------------------------------------------
 

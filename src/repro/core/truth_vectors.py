@@ -27,6 +27,8 @@ claims, so they are always consistent.
 
 from __future__ import annotations
 
+import os
+import tempfile
 from dataclasses import dataclass
 
 import numpy as np
@@ -34,6 +36,22 @@ import numpy as np
 from repro.algorithms.base import TruthDiscoveryAlgorithm, TruthDiscoveryResult
 from repro.data.dataset import Dataset
 from repro.data.types import AttributeId, ObjectId, SourceId
+
+
+def _anonymous_memmap(shape: tuple[int, int], dtype) -> np.memmap:
+    """A zero-filled memory-mapped array backed by an unlinked temp file.
+
+    The file is deleted immediately after mapping (POSIX keeps the
+    mapping alive until the array is garbage collected), so out-of-core
+    truth-vector matrices never leak files even on hard crashes.
+    """
+    fd, path = tempfile.mkstemp(prefix="repro-truthvec-", suffix=".bin")
+    try:
+        os.close(fd)
+        array = np.memmap(path, dtype=dtype, mode="w+", shape=shape)
+    finally:
+        os.unlink(path)
+    return array
 
 
 @dataclass(frozen=True)
@@ -107,6 +125,7 @@ class TruthVectorMatrix:
 def build_truth_vectors(
     dataset: Dataset,
     reference: TruthDiscoveryResult | TruthDiscoveryAlgorithm,
+    memmap_threshold: int | None = None,
 ) -> TruthVectorMatrix:
     """Compute the matrix of attribute truth vectors (Eq. 1).
 
@@ -118,6 +137,11 @@ def build_truth_vectors(
     the dense matrix and mask are then filled with two fancy-indexed
     assignments instead of per-claim scalar writes, which is what keeps
     vector construction off the partition-selection critical path.
+
+    ``memmap_threshold`` (see ``TDACConfig.memmap_threshold``) switches
+    the matrix and mask to anonymous memory-mapped backing once the cell
+    count ``|A| * |O| * |S|`` reaches the threshold; the filled contents
+    are identical either way.
     """
     if isinstance(reference, TruthDiscoveryAlgorithm):
         reference = reference.discover(dataset)
@@ -150,8 +174,14 @@ def build_truth_vectors(
     col_idx = np.asarray(columns, dtype=np.intp)
     hit = np.asarray(confirmed, dtype=bool)
 
-    matrix = np.zeros((len(attributes), n_ranks), dtype=np.int8)
-    mask = np.zeros((len(attributes), n_ranks), dtype=bool)
+    shape = (len(attributes), n_ranks)
+    cells = shape[0] * shape[1]
+    if memmap_threshold is not None and cells >= memmap_threshold:
+        matrix = _anonymous_memmap(shape, np.int8)
+        mask = _anonymous_memmap(shape, bool)
+    else:
+        matrix = np.zeros(shape, dtype=np.int8)
+        mask = np.zeros(shape, dtype=bool)
     mask[row_idx, col_idx] = True
     matrix[row_idx[hit], col_idx[hit]] = 1
     ranks = tuple((o, s) for o in objects for s in sources)

@@ -15,6 +15,7 @@ Public surface:
 """
 
 from repro.data.builder import DatasetBuilder
+from repro.data.claim_engine import ClaimIndexEngine
 from repro.data.dataset import Dataset
 from repro.data.index import DatasetIndex
 from repro.data.io import (
@@ -51,6 +52,7 @@ from repro.data.validation import Finding, check_dataset, validate_dataset
 __all__ = [
     "AttributeId",
     "Claim",
+    "ClaimIndexEngine",
     "DataError",
     "Dataset",
     "DatasetBuilder",

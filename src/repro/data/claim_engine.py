@@ -1,0 +1,186 @@
+"""Shared claim-index engine: one incidence structure per dataset.
+
+TD-AC compiles the same dataset into flat claim arrays repeatedly: once
+for the reference pass, once per block of the winning partition, and
+again for every serving-layer block refresh.  Worse, each per-block pass
+first rebuilds a whole restricted :class:`~repro.data.dataset.Dataset`
+(dict filtering, claim re-validation) only to immediately recompile it
+into arrays.
+
+:class:`ClaimIndexEngine` compiles the dataset **once** into a full
+:class:`~repro.data.index.DatasetIndex` and derives every per-block view
+by *slicing* the compiled arrays:
+
+* facts are ordered object-major then attribute order, and attribute
+  subsetting preserves relative attribute order, so the facts of a block
+  are a subsequence of the full fact sequence;
+* slots are numbered per fact in first-appearance (source) order — a
+  property of the fact's claims alone — so a block's slots are the same
+  subsequence of the full slot sequence;
+* claims are fact-major and source-ordered within each fact, so a block's
+  claims are the corresponding subsequence of the full claim arrays.
+
+A sliced view is therefore **byte-identical** to compiling
+``dataset.restrict_attributes(block)`` from scratch (including the
+winner tie-breaker, which is seeded by the block's slot count), while
+costing a few fancy-indexing passes instead of a dict rebuild plus a
+Python compile loop.  ``tests/test_vectorized_engine.py`` pins this
+equivalence.
+
+:meth:`ClaimIndexEngine.shared` memoises engines per dataset in a weak
+dictionary, so the reference pass, the block runs, repeated partition
+sweeps and the serving refit path all reuse one structure for as long as
+the dataset object is alive.
+"""
+
+from __future__ import annotations
+
+import threading
+from functools import cached_property
+from itertools import compress
+from typing import Hashable, Iterable
+from weakref import WeakKeyDictionary
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.index import DatasetIndex, _validate_dtype
+from repro.data.types import DataError
+
+_SHARED_LOCK = threading.Lock()
+_SHARED: "WeakKeyDictionary[Dataset, dict]" = WeakKeyDictionary()
+
+#: Per-engine cap on memoised block views.  Partition sweeps can probe
+#: many candidate blocks; the cap bounds memory while keeping every block
+#: of a selected partition (typically < 20) resident.
+_BLOCK_CACHE_SIZE = 128
+
+
+class ClaimIndexEngine:
+    """Per-dataset factory of shared full and per-block claim indexes."""
+
+    def __init__(self, dataset: Dataset, dtype=np.float64) -> None:
+        self._dataset = dataset
+        self._dtype = _validate_dtype(dtype)
+        self._lock = threading.Lock()
+        self._blocks: dict[tuple, DatasetIndex] = {}
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def shared(cls, dataset: Dataset, dtype=np.float64) -> "ClaimIndexEngine":
+        """The process-wide engine of ``dataset`` (created on first use).
+
+        Engines are keyed weakly by dataset object and by dtype, so a
+        dataset's compiled structure is shared across the reference pass,
+        block runs and serving refreshes without pinning the dataset in
+        memory after its last strong reference drops.
+        """
+        resolved = _validate_dtype(dtype)
+        with _SHARED_LOCK:
+            per_dataset = _SHARED.get(dataset)
+            if per_dataset is None:
+                per_dataset = {}
+                _SHARED[dataset] = per_dataset
+            engine = per_dataset.get(resolved.name)
+            if engine is None:
+                engine = cls(dataset, dtype=resolved)
+                per_dataset[resolved.name] = engine
+        return engine
+
+    @property
+    def dataset(self) -> Dataset:
+        """The dataset this engine compiles."""
+        return self._dataset
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Working dtype of every index the engine hands out."""
+        return self._dtype
+
+    @cached_property
+    def full_index(self) -> DatasetIndex:
+        """The compiled index of the whole dataset."""
+        return DatasetIndex(self._dataset, dtype=self._dtype)
+
+    @cached_property
+    def _fact_attribute(self) -> np.ndarray:
+        """Attribute rank (dataset attribute order) of every fact."""
+        rank = {a: i for i, a in enumerate(self._dataset.attributes)}
+        full = self.full_index
+        return np.fromiter(
+            (rank[fact.attribute] for fact in full.facts),
+            dtype=np.int64,
+            count=full.n_facts,
+        )
+
+    # ------------------------------------------------------------------
+
+    def block_index(self, block: Iterable[Hashable]) -> DatasetIndex:
+        """The sliced index of one attribute block (memoised).
+
+        ``block`` is a collection of attribute ids; the view is identical
+        to ``DatasetIndex(dataset.restrict_attributes(block))`` but built
+        by slicing the full index's arrays.
+        """
+        key = tuple(block)
+        with self._lock:
+            cached = self._blocks.get(key)
+        if cached is not None:
+            return cached
+        view = self._slice_block(key)
+        with self._lock:
+            if len(self._blocks) >= _BLOCK_CACHE_SIZE:
+                # Drop the oldest half; plain dicts preserve insertion
+                # order, so this evicts the least recently inserted views.
+                for stale in list(self._blocks)[: _BLOCK_CACHE_SIZE // 2]:
+                    del self._blocks[stale]
+            self._blocks[key] = view
+        return view
+
+    def _slice_block(self, block: tuple) -> DatasetIndex:
+        rank = {a: i for i, a in enumerate(self._dataset.attributes)}
+        unknown = [a for a in block if a not in rank]
+        if unknown:
+            raise DataError(
+                f"unknown attributes in block: {sorted(map(str, unknown))}"
+            )
+        full = self.full_index
+        keep_attribute = np.zeros(len(self._dataset.attributes), dtype=bool)
+        keep_attribute[[rank[a] for a in block]] = True
+
+        fact_keep = keep_attribute[self._fact_attribute]
+        slot_keep = fact_keep[full.slot_fact]
+        claim_keep = fact_keep[full.claim_fact]
+
+        # Old id -> new id maps (only valid where the element is kept).
+        new_fact_id = np.cumsum(fact_keep, dtype=np.int64) - 1
+        new_slot_id = np.cumsum(slot_keep, dtype=np.int64) - 1
+
+        facts = tuple(compress(full.facts, fact_keep))
+        slot_values = tuple(compress(full.slot_values, slot_keep))
+        slot_fact = new_fact_id[full.slot_fact[slot_keep]]
+        slots_of_kept = np.diff(full.fact_slot_start)[fact_keep]
+        fact_slot_start = np.concatenate(
+            ([0], np.cumsum(slots_of_kept))
+        ).astype(np.int64)
+        claim_source = full.claim_source[claim_keep]
+        claim_fact = new_fact_id[full.claim_fact[claim_keep]]
+        claim_slot = new_slot_id[full.claim_slot[claim_keep]]
+        kept_true = full.true_slot[fact_keep]
+        true_slot = np.where(
+            kept_true >= 0, new_slot_id[np.maximum(kept_true, 0)], -1
+        ).astype(np.int64)
+
+        return DatasetIndex._from_parts(
+            dataset=self._dataset,
+            facts=facts,
+            slot_values=slot_values,
+            slot_fact=slot_fact,
+            fact_slot_start=fact_slot_start,
+            claim_source=claim_source,
+            claim_fact=claim_fact,
+            claim_slot=claim_slot,
+            true_slot=true_slot,
+            dtype=self._dtype,
+        )
