@@ -1,9 +1,9 @@
-.PHONY: install lint test test-fast test-faults test-serving test-store bench bench-smoke bench-base report examples clean
+.PHONY: install lint test test-fast test-faults test-serving test-store test-net bench bench-smoke bench-base bench-serving-smoke report examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test: lint bench-smoke bench-base test-faults test-serving test-store
+test: lint bench-smoke bench-base test-faults test-serving test-store test-net bench-serving-smoke
 	pytest tests/
 
 # Static checks: ruff when the container ships it, plus a bytecode
@@ -34,6 +34,12 @@ test-serving:
 test-store:
 	PYTHONPATH=src python -m pytest tests/test_store.py tests/test_store_recovery.py -q
 
+# Network front-end suites: TCP round trips over the JSON-lines
+# protocol, framing/backpressure edges, client reconnect behaviour,
+# graceful drain bit-identity, and the stdin front-end's error paths.
+test-net:
+	PYTHONPATH=src python -m pytest tests/test_serving_net.py tests/test_serving_frontend.py -q
+
 test-fast:
 	pytest tests/ -m "not slow"
 
@@ -61,6 +67,19 @@ bench-base:
 	    --output benchmarks/output/BENCH_base_algorithms_smoke.json
 	test -s benchmarks/output/BENCH_base_algorithms_smoke.json
 
+# ~30-second scaled-down load/soak against a live `repro serve
+# --listen` subprocess: Poisson open-loop traffic, fault injection
+# (torn frames, truncated writes, slow-loris) and a SIGKILL-and-restore
+# mid-soak.  The harness exits non-zero if any acked claim is lost or
+# the recovered snapshot diverges from an offline replay, so serving
+# durability is gated in the ordinary test flow.
+bench-serving-smoke:
+	mkdir -p benchmarks/output
+	PYTHONPATH=src python benchmarks/bench_serving.py \
+	    --config smoke \
+	    --output benchmarks/output/BENCH_serving_smoke.json
+	test -s benchmarks/output/BENCH_serving_smoke.json
+
 report:
 	python -c "from repro.evaluation.report import write_report; \
 	           print(write_report('benchmarks/output', 'EXPERIMENTS_MEASURED.md'))"
@@ -70,5 +89,6 @@ examples:
 
 clean:
 	rm -rf benchmarks/output/BENCH_partition_select_smoke.json \
-	    benchmarks/output/BENCH_base_algorithms_smoke.json .pytest_cache .benchmarks
+	    benchmarks/output/BENCH_base_algorithms_smoke.json \
+	    benchmarks/output/BENCH_serving_smoke.json .pytest_cache .benchmarks
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -86,10 +86,15 @@ from repro.core import (
 from repro.data import Claim, Dataset, DatasetBuilder, Fact
 from repro.execution import ExecutionPolicy
 from repro.observability import SpanTracer
-from repro.serving import TruthService, TruthSnapshot
+from repro.serving import (
+    AsyncTruthClient,
+    TruthServer,
+    TruthService,
+    TruthSnapshot,
+)
 from repro.store import TruthStore
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: The stable public surface: every name here imports from ``repro``
 #: directly and is covered by the API-stability tests.  Additions are
@@ -99,6 +104,7 @@ __all__ = [
     "Accu",
     "AccuGenPartition",
     "AccuSim",
+    "AsyncTruthClient",
     "AverageLog",
     "CATD",
     "CRH",
@@ -125,6 +131,7 @@ __all__ = [
     "TruthDiscoveryAlgorithm",
     "TruthDiscoveryResult",
     "TruthFinder",
+    "TruthServer",
     "TruthService",
     "TruthSnapshot",
     "TruthStore",

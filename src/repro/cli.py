@@ -101,6 +101,8 @@ def _config_from_args(args: argparse.Namespace) -> TDACConfig:
     ]
     return TDACConfig(
         seed=getattr(args, "seed", 0),
+        k_max=getattr(args, "k_max", None),
+        n_init=getattr(args, "n_init", 10),
         n_jobs=args.n_jobs,
         backend=args.backend,
         sparse=sparse_mode,
@@ -220,6 +222,58 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="self-driving ingest/query round trip asserting snapshot "
         "bit-identity; exits non-zero on mismatch",
+    )
+    serve.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        default=None,
+        help="serve the JSON-lines protocol over asyncio TCP instead of "
+        "stdin/stdout (port 0 picks a free port, announced as a "
+        '{"event": "listening"} line on stdout); SIGINT/SIGTERM drain '
+        "gracefully",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="bound on flushing in-flight requests during graceful "
+        "drain (with --listen)",
+    )
+    serve.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=300.0,
+        help="close connections with no complete request for this many "
+        "seconds (with --listen)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=32,
+        help="per-connection concurrent request cap; excess requests "
+        "get an overloaded response with a retry-after hint (with "
+        "--listen)",
+    )
+    serve.add_argument(
+        "--max-line-bytes",
+        type=int,
+        default=1 << 20,
+        help="request-line framing bound; longer lines are rejected "
+        "loudly and the connection dropped (with --listen)",
+    )
+    serve.add_argument(
+        "--k-max",
+        type=int,
+        default=None,
+        help="cap the partition-selection sweep at this k (default: "
+        "|A| - 1 per Algorithm 1); bounds per-refit cost when ingest "
+        "streams keep growing the attribute set",
+    )
+    serve.add_argument(
+        "--n-init",
+        type=int,
+        default=10,
+        help="k-means restarts per swept k during refits",
     )
     serve.add_argument(
         "--store-dir",
@@ -426,10 +480,6 @@ def main(argv: Sequence[str] | None = None) -> int:
                 queue_capacity=args.queue_capacity,
                 snapshot_every=args.snapshot_every,
             )
-            try:
-                code = serve_jsonl(service, sys.stdin, sys.stdout)
-            finally:
-                service.stop()
         else:
             dataset = load(args.dataset, seed=args.seed, scale=args.scale)
             service = TruthService(
@@ -445,8 +495,26 @@ def main(argv: Sequence[str] | None = None) -> int:
                 store=store,
                 snapshot_every=args.snapshot_every,
             )
-            with service:
+            service.start()
+        try:
+            if args.listen is not None:
+                from repro.serving import serve_network
+
+                code = serve_network(
+                    service,
+                    args.listen,
+                    announce=sys.stdout,
+                    drain_timeout=args.drain_timeout,
+                    idle_timeout=args.idle_timeout,
+                    max_inflight_per_connection=args.max_inflight,
+                    max_line_bytes=args.max_line_bytes,
+                )
+            else:
                 code = serve_jsonl(service, sys.stdin, sys.stdout)
+        finally:
+            # Idempotent: serve_network's graceful drain already stopped
+            # the service; this covers the stdin path and error exits.
+            service.stop()
         if tracer is not None:
             from repro.observability import write_trace
 

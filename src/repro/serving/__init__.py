@@ -16,7 +16,11 @@ provides it:
 * :class:`~repro.core.cache.PartitionCache` (re-exported) — the shared
   LRU that lets repeated cold starts replay selected partitions;
 * :mod:`~repro.serving.frontend` — the JSON-lines driver behind the
-  ``repro serve`` CLI subcommand and its ``--smoke`` round trip.
+  ``repro serve`` CLI subcommand and its ``--smoke`` round trip;
+* :mod:`~repro.serving.net` / :mod:`~repro.serving.client` — the
+  asyncio TCP front-end behind ``repro serve --listen`` (persistent
+  multiplexed connections, per-connection backpressure, graceful
+  drain) and the matching reconnect/backoff/retry-after client.
 
 Durability is opt-in through :mod:`repro.store`: pass ``store=`` to
 :class:`TruthService` and every admission is WAL-logged before its
@@ -26,7 +30,13 @@ a crash.
 """
 
 from repro.core.cache import PartitionCache
-from repro.serving.frontend import run_smoke, serve_jsonl
+from repro.serving.client import (
+    AsyncTruthClient,
+    RetryPolicy,
+    TruthClientError,
+)
+from repro.serving.frontend import handle_request, run_smoke, serve_jsonl
+from repro.serving.net import TruthServer, serve_network
 from repro.serving.service import (
     IngestTicket,
     QueryAnswer,
@@ -38,14 +48,20 @@ from repro.serving.service import (
 from repro.serving.snapshot import TruthSnapshot
 
 __all__ = [
+    "AsyncTruthClient",
     "IngestTicket",
     "PartitionCache",
     "QueryAnswer",
     "REFIT_MODES",
+    "RetryPolicy",
     "ServiceOverloadedError",
     "ServiceStoppedError",
+    "TruthClientError",
+    "TruthServer",
     "TruthService",
     "TruthSnapshot",
+    "handle_request",
     "run_smoke",
     "serve_jsonl",
+    "serve_network",
 ]

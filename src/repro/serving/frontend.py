@@ -34,7 +34,13 @@ from repro.data.types import Claim
 from repro.serving.service import ServiceOverloadedError, TruthService
 
 
-def _parse_claims(raw: Any) -> list[Claim]:
+def parse_claims(raw: Any) -> list[Claim]:
+    """Coerce the wire-format ``claims`` payload into :class:`Claim` rows.
+
+    Shared by this stdin/stdout front-end and the asyncio network
+    front-end (:mod:`repro.serving.net`), so both reject malformed
+    batches with the same message.
+    """
     if not isinstance(raw, list) or not raw:
         raise ValueError("'claims' must be a non-empty list")
     claims = []
@@ -55,11 +61,18 @@ def _parse_claims(raw: Any) -> list[Claim]:
     return claims
 
 
-def _handle(service: TruthService, request: dict) -> dict:
+def handle_request(service: TruthService, request: dict) -> dict:
+    """Serve one already-parsed request object; never raises for bad input.
+
+    ``ingest`` blocks until the batch is applied; the other ops are
+    wait-free reads.  The network front-end reuses this for everything
+    except ``ingest`` (which it bridges asynchronously so a deep queue
+    does not pin one thread per in-flight request).
+    """
     op = request.get("op")
     if op == "ingest":
         try:
-            ticket = service.ingest(_parse_claims(request.get("claims")))
+            ticket = service.ingest(parse_claims(request.get("claims")))
             snapshot = ticket.wait()
         except ServiceOverloadedError as exc:
             return {
@@ -102,6 +115,10 @@ def serve_jsonl(
 
     Malformed lines produce an ``{"ok": false}`` response instead of
     stopping the loop, so one bad client request cannot kill the server.
+    A consumer that vanishes mid-stream (``BrokenPipeError``, or the
+    ``ValueError`` a closed text stream raises) ends the loop cleanly
+    instead of escaping as an unhandled traceback — the caller's
+    ``service.stop()`` then drains and checkpoints as usual.
     """
     for line in lines:
         line = line.strip()
@@ -111,11 +128,15 @@ def serve_jsonl(
             request = json.loads(line)
             if not isinstance(request, dict):
                 raise ValueError("request must be a JSON object")
-            response = _handle(service, request)
+            response = handle_request(service, request)
         except Exception as exc:  # a bad request must not stop serving
             response = {"ok": False, "error": str(exc)}
-        out.write(json.dumps(response, sort_keys=True, default=str) + "\n")
-        out.flush()
+        try:
+            out.write(json.dumps(response, sort_keys=True, default=str) + "\n")
+            out.flush()
+        except (BrokenPipeError, ValueError):
+            # The consumer is gone; there is nobody left to respond to.
+            break
     return 0
 
 
@@ -153,24 +174,30 @@ def run_smoke(
     with service:
         source = dataset.sources[0]
         attribute = dataset.attributes[0]
-        service.ingest(
+        first = service.ingest(
             [Claim(source, "smoke-object", attribute, "smoke-value")],
             wait=True,
-        )
-        service.ingest(
+        ).wait()
+        second = service.ingest(
             [
                 Claim(s, "smoke-object", dataset.attributes[1], 7)
                 for s in dataset.sources[:2]
             ],
             wait=True,
-        )
+        ).wait()
         answer = service.query("smoke-object", attribute)
         snapshot = service.snapshot()
         replayed = service.replay_dataset(snapshot.watermark)
         offline = TDAC(create(algorithm), config=config).run(replayed)
     checks = {
         "query_found": answer.found and answer.value == "smoke-value",
-        "versions_monotone": snapshot.version == 3,  # start + 2 batches
+        # Micro-batching may coalesce the two ingests into one refit, so
+        # the final version is 2 or 3 depending on load; what the service
+        # guarantees is strict monotonicity past the start snapshot and
+        # that every admitted claim is covered by the final watermark.
+        "versions_monotone": (
+            1 < first.version <= second.version <= snapshot.version
+        ),
         "watermark": snapshot.watermark == 3,
         "predictions_identical": (
             dict(snapshot.predictions) == dict(offline.result.predictions)

@@ -89,7 +89,15 @@ class IngestTicket:
     ``watermark >= offset + len(claims)``.
     """
 
-    __slots__ = ("claims", "offset", "_event", "_snapshot", "_error")
+    __slots__ = (
+        "claims",
+        "offset",
+        "_event",
+        "_snapshot",
+        "_error",
+        "_callbacks",
+        "_cb_lock",
+    )
 
     def __init__(self, claims: Sequence[Claim], offset: int) -> None:
         self.claims: tuple[Claim, ...] = tuple(claims)
@@ -97,11 +105,28 @@ class IngestTicket:
         self._event = threading.Event()
         self._snapshot: TruthSnapshot | None = None
         self._error: BaseException | None = None
+        self._callbacks: list = []
+        self._cb_lock = threading.Lock()
 
     @property
     def done(self) -> bool:
         """Whether the batch has been applied (or failed)."""
         return self._event.is_set()
+
+    def add_done_callback(self, fn) -> None:
+        """Run ``fn()`` once the ticket settles (immediately if it has).
+
+        Callbacks fire on whichever thread settles the ticket (the
+        batcher thread, usually), so they must be cheap and must not
+        block — the network front-end uses this to bridge tickets onto
+        an event loop via ``call_soon_threadsafe`` instead of parking
+        one executor thread per in-flight ingest.
+        """
+        with self._cb_lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        fn()
 
     def wait(self, timeout: float | None = None) -> TruthSnapshot:
         """Block until the batch is applied; return the covering snapshot.
@@ -116,13 +141,21 @@ class IngestTicket:
         assert self._snapshot is not None
         return self._snapshot
 
+    def _settled(self) -> None:
+        with self._cb_lock:
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn()
+
     def _resolve(self, snapshot: TruthSnapshot) -> None:
         self._snapshot = snapshot
         self._event.set()
+        self._settled()
 
     def _fail(self, error: BaseException) -> None:
         self._error = error
         self._event.set()
+        self._settled()
 
 
 @dataclass(frozen=True)
@@ -247,10 +280,13 @@ class TruthService:
         self._watermark_base = 0
         self._resuming = False
         self._batches_since_checkpoint = 0
+        self._stop_complete = False
         self._stats = {
             "ingested_tickets": 0,
             "ingested_claims": 0,
             "rejected_claims": 0,
+            "overloaded_tickets": 0,
+            "retry_after_last_seconds": 0.0,
             "batches": 0,
             "batch_errors": 0,
             "applied_claims": 0,
@@ -324,8 +360,14 @@ class TruthService:
         the next :meth:`restore` replays nothing) and closes the WAL.
         ``checkpoint=False`` skips the final checkpoint — the store then
         looks exactly as it would after a crash at this point.
+
+        ``stop`` is idempotent: repeated calls (e.g. the network
+        front-end's drain followed by the CLI's ``finally``) return
+        immediately once the first completed.
         """
         with self._cond:
+            if self._stop_complete:
+                return
             self._closed = True
             self._cond.notify_all()
         if self._thread is not None:
@@ -334,6 +376,7 @@ class TruthService:
             if checkpoint and self._snapshot is not None:
                 self.checkpoint()
             self.store.close()
+        self._stop_complete = True
 
     def checkpoint(self) -> Path | None:
         """Persist the current snapshot (plus dataset) as a checkpoint.
@@ -497,10 +540,13 @@ class TruthService:
                 )
             backlog = self._pending_claims + self._in_flight
             if backlog + len(batch) > self.queue_capacity:
-                self._stats["rejected_claims"] += len(batch)
-                self._trace_count("serve.ingest.rejected")
                 batches_ahead = max(1, -(-backlog // self.max_batch_size))
                 retry_after = self._last_batch_seconds * batches_ahead
+                self._stats["rejected_claims"] += len(batch)
+                self._stats["overloaded_tickets"] += 1
+                self._stats["retry_after_last_seconds"] = retry_after
+                self._trace_count("serve.ingest.rejected")
+                self._trace_count("serve.overloaded")
                 raise ServiceOverloadedError(
                     backlog, self.queue_capacity, retry_after
                 )

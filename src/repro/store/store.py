@@ -35,6 +35,7 @@ traced serving run shows durability cost next to refit cost.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
@@ -128,6 +129,10 @@ class TruthStore:
         #: admitted batch with no commit/abort record yet; its minimum
         #: lsn is the compaction frontier.
         self._uncommitted: dict[int, tuple[int, int]] = {}
+        # Ingest threads admit while the batcher commits/aborts; the
+        # lock keeps the uncommitted map and the WAL append it mirrors
+        # atomic with respect to each other.
+        self._lock = threading.Lock()
         self._snapshots_written = 0
         self._compactions = 0
         self._rebuild_pending()
@@ -156,8 +161,9 @@ class TruthStore:
     @property
     def min_live_lsn(self) -> int:
         """Smallest LSN recovery could still need (compaction frontier)."""
-        if self._uncommitted:
-            return min(lsn for lsn, _ in self._uncommitted.values())
+        with self._lock:
+            if self._uncommitted:
+                return min(lsn for lsn, _ in self._uncommitted.values())
         return self.wal.next_lsn
 
     @property
@@ -185,14 +191,15 @@ class TruthStore:
         tracer = current_tracer()
         before = self.wal.bytes_appended
         with tracer.span("store.append", kind="admit", claims=len(claims)):
-            lsn = self.wal.append(
-                "admit",
-                {
-                    "offset": offset,
-                    "claims": [encode_claim(c) for c in claims],
-                },
-            )
-        self._uncommitted[offset] = (lsn, len(claims))
+            with self._lock:
+                lsn = self.wal.append(
+                    "admit",
+                    {
+                        "offset": offset,
+                        "claims": [encode_claim(c) for c in claims],
+                    },
+                )
+                self._uncommitted[offset] = (lsn, len(claims))
         tracer.count("store.durable_bytes", self.wal.bytes_appended - before)
         tracer.count("store.appends")
         return lsn
@@ -207,16 +214,17 @@ class TruthStore:
         tracer = current_tracer()
         before = self.wal.bytes_appended
         with tracer.span("store.append", kind="commit"):
-            lsn = self.wal.append(
-                "commit",
-                {
-                    "version": version,
-                    "watermark": watermark,
-                    "applied": [[o, n] for o, n in applied],
-                },
-            )
-        for offset, _n in applied:
-            self._uncommitted.pop(offset, None)
+            with self._lock:
+                lsn = self.wal.append(
+                    "commit",
+                    {
+                        "version": version,
+                        "watermark": watermark,
+                        "applied": [[o, n] for o, n in applied],
+                    },
+                )
+                for offset, _n in applied:
+                    self._uncommitted.pop(offset, None)
         tracer.count("store.durable_bytes", self.wal.bytes_appended - before)
         tracer.count("store.commits")
         return lsn
@@ -228,15 +236,16 @@ class TruthStore:
         tracer = current_tracer()
         before = self.wal.bytes_appended
         with tracer.span("store.append", kind="abort"):
-            lsn = self.wal.append(
-                "abort",
-                {
-                    "applied": [[o, n] for o, n in applied],
-                    "reason": reason[:500],
-                },
-            )
-        for offset, _n in applied:
-            self._uncommitted.pop(offset, None)
+            with self._lock:
+                lsn = self.wal.append(
+                    "abort",
+                    {
+                        "applied": [[o, n] for o, n in applied],
+                        "reason": reason[:500],
+                    },
+                )
+                for offset, _n in applied:
+                    self._uncommitted.pop(offset, None)
         tracer.count("store.durable_bytes", self.wal.bytes_appended - before)
         tracer.count("store.aborts")
         return lsn

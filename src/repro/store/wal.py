@@ -30,6 +30,7 @@ garbage inside an otherwise-valid file.
 from __future__ import annotations
 
 import os
+import threading
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -114,6 +115,12 @@ class ClaimWAL:
         self._active_records = 0
         self._active_bytes = 0
         self.bytes_appended = 0
+        # Serialises LSN assignment with the write that carries it.
+        # Admits arrive from ingest threads while the batcher appends
+        # commits/aborts; interleaving those would write out-of-order
+        # LSNs, which the next recovery scan reads as corruption and
+        # truncates — losing acknowledged records.
+        self._write_lock = threading.RLock()
         scan = self.scan(repair=True)
         self._next_lsn = scan.next_lsn
 
@@ -242,29 +249,30 @@ class ClaimWAL:
         when this returns, which is what lets the serving layer
         acknowledge admissions before applying them.
         """
-        line = encode_record(self._next_lsn, type_, body).encode("utf-8")
-        overflows = (
-            self._active_records >= self.segment_max_records
-            or (
-                self._active_records > 0
-                and self._active_bytes + len(line) > self.segment_max_bytes
+        with self._write_lock:
+            line = encode_record(self._next_lsn, type_, body).encode("utf-8")
+            overflows = (
+                self._active_records >= self.segment_max_records
+                or (
+                    self._active_records > 0
+                    and self._active_bytes + len(line) > self.segment_max_bytes
+                )
             )
-        )
-        if self._handle is None or overflows:
-            self._rotate()
-        assert self._handle is not None
-        self._handle.write(line)
-        self._handle.flush()
-        if self.sync == "always" or (
-            self.sync == "commit" and type_ in ("commit", "abort")
-        ):
-            os.fsync(self._handle.fileno())
-        lsn = self._next_lsn
-        self._next_lsn += 1
-        self._active_records += 1
-        self._active_bytes += len(line)
-        self.bytes_appended += len(line)
-        return lsn
+            if self._handle is None or overflows:
+                self._rotate()
+            assert self._handle is not None
+            self._handle.write(line)
+            self._handle.flush()
+            if self.sync == "always" or (
+                self.sync == "commit" and type_ in ("commit", "abort")
+            ):
+                os.fsync(self._handle.fileno())
+            lsn = self._next_lsn
+            self._next_lsn += 1
+            self._active_records += 1
+            self._active_bytes += len(line)
+            self.bytes_appended += len(line)
+            return lsn
 
     def _rotate(self) -> None:
         """Seal the active segment and open a fresh one."""
@@ -284,16 +292,18 @@ class ClaimWAL:
 
     def flush(self) -> None:
         """Force everything appended so far to disk (fsync)."""
-        if self._handle is not None:
-            self._handle.flush()
-            os.fsync(self._handle.fileno())
+        with self._write_lock:
+            if self._handle is not None:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
 
     def close(self) -> None:
         """Flush and release the active segment handle."""
-        if self._handle is not None:
-            self.flush()
-            self._handle.close()
-            self._handle = None
+        with self._write_lock:
+            if self._handle is not None:
+                self.flush()
+                self._handle.close()
+                self._handle = None
 
     # ------------------------------------------------------------------
     # Compaction

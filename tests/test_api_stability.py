@@ -46,7 +46,10 @@ class TestPublicSurface:
             ("repro.execution", ["ExecutionPolicy"]),
             ("repro.observability", ["SpanTracer"]),
             ("repro.serving", ["TruthService", "TruthSnapshot",
-                               "ServiceOverloadedError", "run_smoke"]),
+                               "ServiceOverloadedError", "run_smoke",
+                               "TruthServer", "AsyncTruthClient",
+                               "RetryPolicy", "serve_network",
+                               "handle_request"]),
         ],
     )
     def test_documented_homes_stay_importable(self, module, names):
@@ -58,7 +61,7 @@ class TestPublicSurface:
         from repro import TruthService, TruthSnapshot  # noqa: F401
 
     def test_version_matches_package_metadata(self):
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.3.0"
 
     def test_store_symbols_are_top_level(self):
         from repro import TruthStore, store  # noqa: F401

@@ -94,6 +94,34 @@ class TestClaimWAL:
         assert names == [segment_name(0), segment_name(2), segment_name(4)]
         assert segment_first_lsn(wal.segments()[1]) == 2
 
+    def test_concurrent_appends_keep_lsn_order(self, tmp_path):
+        # Regression: admits arrive from ingest threads while the
+        # batcher appends commits.  Unsynchronised appends interleave
+        # LSN assignment with the write carrying it, producing
+        # out-of-order LSNs that the next recovery scan truncates at —
+        # silently dropping acknowledged records.
+        import threading
+
+        wal = ClaimWAL(tmp_path, segment_max_records=64, sync="never")
+        barrier = threading.Barrier(4)
+
+        def hammer(worker: int) -> None:
+            barrier.wait()
+            for i in range(200):
+                wal.append("admit", {"offset": worker * 1_000 + i, "claims": []})
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wal.close()
+        scan = ClaimWAL(tmp_path, sync="never").scan()
+        assert not scan.warnings
+        assert [r.lsn for r in scan.records] == list(range(800))
+
     def test_torn_tail_recovers_with_loud_warning(self, tmp_path):
         wal = ClaimWAL(tmp_path, sync="never")
         for i in range(3):
