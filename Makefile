@@ -1,9 +1,9 @@
-.PHONY: install lint test test-fast test-faults test-serving test-store test-net bench bench-smoke bench-base bench-serving-smoke report examples clean
+.PHONY: install lint test test-fast test-faults test-serving test-incremental test-store test-net bench bench-smoke bench-base bench-serving-smoke bench-incremental-smoke report examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test: lint bench-smoke bench-base test-faults test-serving test-store test-net bench-serving-smoke
+test: lint bench-smoke bench-base test-faults test-serving test-incremental test-store test-net bench-serving-smoke bench-incremental-smoke
 	pytest tests/
 
 # Static checks: ruff when the container ships it, plus a bytecode
@@ -28,6 +28,13 @@ test-faults:
 test-serving:
 	PYTHONPATH=src python -m pytest tests/test_serving.py tests/test_api_stability.py -q
 	PYTHONPATH=src python -m repro serve --smoke
+
+# Exact-incremental suites: the streaming delta path (append-only
+# dataset extension, spliced index compile, patched truth vectors,
+# certified partition reuse) pinned bit-identical to offline TDAC.run
+# at every watermark, plus the legacy incremental unit tests.
+test-incremental:
+	PYTHONPATH=src python -m pytest tests/test_incremental.py tests/test_incremental_exact.py -q
 
 # Durable store suites: WAL/snapshot units plus crash-recovery
 # bit-identity (kill mid-ingest, restore, compare to offline TDAC.run).
@@ -80,6 +87,17 @@ bench-serving-smoke:
 	    --output benchmarks/output/BENCH_serving_smoke.json
 	test -s benchmarks/output/BENCH_serving_smoke.json
 
+# CI-sized run of the exact-delta refit/restore harness.  The harness
+# asserts the delta path is bit-identical to the full-refit baseline at
+# every watermark (and actually faster) before writing its artefact, so
+# incremental exactness and its perf win are gated in the test flow.
+bench-incremental-smoke:
+	mkdir -p benchmarks/output
+	PYTHONPATH=src python benchmarks/bench_incremental.py \
+	    --config smoke \
+	    --output benchmarks/output/BENCH_incremental_smoke.json
+	test -s benchmarks/output/BENCH_incremental_smoke.json
+
 report:
 	python -c "from repro.evaluation.report import write_report; \
 	           print(write_report('benchmarks/output', 'EXPERIMENTS_MEASURED.md'))"
@@ -90,5 +108,7 @@ examples:
 clean:
 	rm -rf benchmarks/output/BENCH_partition_select_smoke.json \
 	    benchmarks/output/BENCH_base_algorithms_smoke.json \
-	    benchmarks/output/BENCH_serving_smoke.json .pytest_cache .benchmarks
+	    benchmarks/output/BENCH_serving_smoke.json \
+	    benchmarks/output/BENCH_incremental_smoke.json \
+	    .pytest_cache .benchmarks
 	find . -name __pycache__ -type d -exec rm -rf {} +

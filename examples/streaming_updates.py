@@ -1,10 +1,13 @@
 """Streaming truth discovery: absorb new claims without refitting.
 
 A fusion service does not get its corpus at once — claims trickle in.
-``IncrementalTDAC`` keeps the discovered attribute partition and
-re-solves only the blocks a batch touches, refitting from scratch only
-when enough new data has accumulated that the reliability structure may
-have drifted.
+``IncrementalTDAC`` absorbs each batch through an exact delta path:
+the claim index and Eq. 1 truth-vector matrix are patched in place, the
+certified partition is reused (or re-certified) and only the blocks a
+batch touches are re-solved — and the published state is bit-identical
+to rerunning offline ``TDAC.run`` on the grown corpus.  A full refit
+happens only when enough new data has accumulated that recomputing from
+scratch is cheaper than certifying the reuse.
 
 The second half makes the stream *durable*: a ``TruthService`` with a
 ``store=`` directory WAL-logs every admission before acknowledging it,
@@ -39,16 +42,18 @@ batch = [
 result = incremental.update(batch)
 print(f"after small batch touching {attribute!r}: {incremental.stats}")
 
-# Batch 2: claims about an attribute never seen before — parked in its
-# own block until the next full fit.
+# Batch 2: claims about an attribute never seen before — its truth
+# vector joins the matrix and the k-sweep re-certifies the partition,
+# so the new attribute lands in a real cluster immediately.
 batch = [
     Claim(s, "breaking-0", "sentiment", "positive") for s in dataset.sources[:4]
 ]
 result = incremental.update(batch)
 print(f"after new attribute 'sentiment': partition {incremental.partition}")
 
-# Batch 3: a flood of claims — exceeds the drift budget and triggers a
-# full refit (the parked attribute gets clustered for real).
+# Batch 3: a flood of claims — exceeds the drift budget
+# (repartition_fraction of the corpus size at the last full fit) and
+# triggers a full refit.
 flood = [
     Claim(dataset.sources[i % 10], f"flood-{i}", "sentiment",
           "positive" if i % 4 else "negative")

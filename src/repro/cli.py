@@ -195,8 +195,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "--refit",
         choices=["full", "incremental"],
         default="full",
-        help="full = every snapshot bit-identical to offline TDAC.run; "
-        "incremental = touched-block refreshes only",
+        help="both modes publish snapshots bit-identical to offline "
+        "TDAC.run; incremental absorbs each batch through the exact "
+        "delta path instead of refitting from scratch",
     )
     serve.add_argument(
         "--max-batch-size",

@@ -188,3 +188,198 @@ def build_truth_vectors(
     return TruthVectorMatrix(
         matrix=matrix, mask=mask, attributes=attributes, ranks=ranks
     )
+
+
+@dataclass(frozen=True)
+class VectorDelta:
+    """Outcome of one :meth:`TruthVectorStore.advance`.
+
+    ``vectors`` is a *live view* over the store's buffers: it reflects
+    the state as of this advance and is mutated in place by later ones.
+    The change flags drive the exact selection-reuse decision upstream:
+    appended all-zero columns (new objects) provably leave every pairwise
+    attribute distance — and hence the certified partition and its
+    silhouettes — unchanged, so only ``rows_changed`` /
+    ``entries_changed`` (and ``mask_changed`` under the masked distance)
+    invalidate a previous selection.
+    """
+
+    vectors: TruthVectorMatrix
+    rebuilt: bool
+    rows_changed: bool
+    entries_changed: bool
+    mask_changed: bool
+
+    @property
+    def selection_dirty(self) -> bool:
+        """Whether the plain-Hamming selection inputs changed at all."""
+        return self.rebuilt or self.rows_changed or self.entries_changed
+
+
+class TruthVectorStore:
+    """Incrementally maintained attribute truth-vector matrix (Eq. 1).
+
+    Holds the Eq. 1 matrix and mask in capacity-doubled buffers and
+    patches them in place as claims arrive: new attributes append rows,
+    new objects append (zero-filled) column groups, and only facts whose
+    reference prediction changed — plus facts receiving new claims — have
+    their cells rewritten.  The used region is cell-for-cell identical to
+    :func:`build_truth_vectors` over the same dataset and reference
+    (``tests/test_incremental_exact.py`` pins this); growth re-backs the
+    buffers onto anonymous memmaps once the capacity crosses
+    ``memmap_threshold``, mirroring the batch builder's behaviour.
+
+    A batch that introduces a new *source* interleaves a column into
+    every object's group (columns are object-major), so the store falls
+    back to a full rebuild for it.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        reference: TruthDiscoveryResult,
+        memmap_threshold: int | None = None,
+    ) -> None:
+        self.memmap_threshold = memmap_threshold
+        self.rebuilds = 0
+        self.patches = 0
+        self._rebuild(dataset, reference)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def vectors(self) -> TruthVectorMatrix:
+        """A (live) :class:`TruthVectorMatrix` view of the current state."""
+        return TruthVectorMatrix(
+            matrix=self._matrix[: self._n_rows, : self._n_cols],
+            mask=self._mask[: self._n_rows, : self._n_cols],
+            attributes=self._attributes,
+            ranks=self._ranks,
+        )
+
+    def _rebuild(
+        self, dataset: Dataset, reference: TruthDiscoveryResult
+    ) -> VectorDelta:
+        built = build_truth_vectors(
+            dataset, reference, memmap_threshold=self.memmap_threshold
+        )
+        self._matrix = built.matrix
+        self._mask = built.mask
+        self._n_rows, self._n_cols = built.matrix.shape
+        self._attributes = built.attributes
+        self._ranks = built.ranks
+        self._n_sources = len(dataset.sources)
+        self._n_objects = len(dataset.objects)
+        self._truth_of = {
+            (fact.object, fact.attribute): value
+            for fact, value in reference.predictions.items()
+        }
+        self.rebuilds += 1
+        return VectorDelta(
+            vectors=self.vectors,
+            rebuilt=True,
+            rows_changed=True,
+            entries_changed=True,
+            mask_changed=True,
+        )
+
+    def _grow(self, n_rows: int, n_cols: int) -> None:
+        cap_rows, cap_cols = self._matrix.shape
+        if n_rows <= cap_rows and n_cols <= cap_cols:
+            self._n_rows, self._n_cols = n_rows, n_cols
+            return
+        new_rows = max(n_rows, 2 * cap_rows) if n_rows > cap_rows else cap_rows
+        new_cols = max(n_cols, 2 * cap_cols) if n_cols > cap_cols else cap_cols
+        shape = (new_rows, new_cols)
+        threshold = self.memmap_threshold
+        if threshold is not None and new_rows * new_cols >= threshold:
+            matrix = _anonymous_memmap(shape, np.int8)
+            mask = _anonymous_memmap(shape, bool)
+        else:
+            matrix = np.zeros(shape, dtype=np.int8)
+            mask = np.zeros(shape, dtype=bool)
+        used_r, used_c = self._n_rows, self._n_cols
+        matrix[:used_r, :used_c] = self._matrix[:used_r, :used_c]
+        mask[:used_r, :used_c] = self._mask[:used_r, :used_c]
+        self._matrix = matrix
+        self._mask = mask
+        self._n_rows, self._n_cols = n_rows, n_cols
+
+    def advance(
+        self,
+        dataset: Dataset,
+        engine,
+        reference: TruthDiscoveryResult,
+        fresh: list,
+    ) -> VectorDelta:
+        """Patch the matrix for ``dataset`` = previous dataset + ``fresh``.
+
+        ``engine`` is the (delta-compiled) claim-index engine of
+        ``dataset``; ``reference`` is the fresh reference pass over the
+        full extended corpus.  Returns the new view plus precise change
+        flags.  Falls back to :func:`build_truth_vectors` when no engine
+        is available or the source universe grew.
+        """
+        if engine is None or len(dataset.sources) != self._n_sources:
+            return self._rebuild(dataset, reference)
+        new_truth = {
+            (fact.object, fact.attribute): value
+            for fact, value in reference.predictions.items()
+        }
+        old_truth = self._truth_of
+        changed_facts = {
+            key for key, value in new_truth.items()
+            if old_truth.get(key) != value
+        }
+        changed_facts.update(
+            (claim.object, claim.attribute) for claim in fresh
+        )
+        rows_changed = len(dataset.attributes) != self._n_rows
+        grew_objects = len(dataset.objects) != self._n_objects
+        self._grow(
+            len(dataset.attributes),
+            len(dataset.objects) * self._n_sources,
+        )
+        if rows_changed:
+            self._attributes = dataset.attributes
+        if grew_objects:
+            sources = dataset.sources
+            self._ranks = self._ranks + tuple(
+                (o, s)
+                for o in dataset.objects[self._n_objects:]
+                for s in sources
+            )
+            self._n_objects = len(dataset.objects)
+        attr_rank = engine._attr_rank
+        obj_rank = engine._obj_rank
+        n_sources = self._n_sources
+        matrix, mask = self._matrix, self._mask
+        entries_changed = False
+        for obj, attribute in changed_facts:
+            fact_id = engine.fact_id(obj, attribute)
+            if fact_id < 0:  # pragma: no cover - defensive
+                continue
+            src_ids, values = engine.fact_claims(fact_id)
+            row = attr_rank[attribute]
+            cols = obj_rank[obj] * n_sources + src_ids
+            pred = new_truth.get((obj, attribute))
+            confirmed = np.fromiter(
+                (pred is not None and v == pred for v in values),
+                dtype=bool,
+                count=len(values),
+            ).astype(np.int8)
+            if not entries_changed and not np.array_equal(
+                matrix[row, cols], confirmed
+            ):
+                entries_changed = True
+            matrix[row, cols] = confirmed
+            mask[row, cols] = True
+        self._truth_of = new_truth
+        self.patches += 1
+        return VectorDelta(
+            vectors=self.vectors,
+            rebuilt=False,
+            rows_changed=rows_changed,
+            entries_changed=entries_changed,
+            mask_changed=bool(fresh),
+        )

@@ -268,6 +268,57 @@ class Dataset:
             name=f"{self._name}|{len(ordered)}attrs",
         )
 
+    def extended(self, claims: Iterable[Claim]) -> "Dataset":
+        """Return this dataset plus ``claims``, without replaying history.
+
+        The append-only growth path of the streaming engines: only the
+        new claims are validated (a source contradicting its own earlier
+        value raises :class:`DataError`; re-asserting the same value is a
+        no-op), and new identifiers append to the source / object /
+        attribute tuples in claim order — exactly the order a
+        :class:`~repro.data.builder.DatasetBuilder` replay of
+        ``old claims + new claims`` would produce.  The result is
+        therefore fingerprint-identical to the historical full rebuild
+        (``tests/test_incremental_exact.py`` pins this) at O(batch)
+        instead of O(corpus) cost.
+
+        Returns ``self`` unchanged when every claim is a duplicate.
+        """
+        batch = list(claims)
+        if not batch:
+            return self
+        merged = dict(self._claims)
+        sources = dict.fromkeys(self._sources)
+        objects = dict.fromkeys(self._objects)
+        attributes = dict.fromkeys(self._attributes)
+        changed = False
+        for claim in batch:
+            key = (claim.source, claim.object, claim.attribute)
+            existing = merged.get(key)
+            if existing is not None:
+                if existing != claim.value:
+                    raise DataError(
+                        f"source {claim.source!r} claims two values for "
+                        f"({claim.object!r}, {claim.attribute!r}): "
+                        f"{existing!r} and {claim.value!r}"
+                    )
+                continue
+            sources.setdefault(claim.source)
+            objects.setdefault(claim.object)
+            attributes.setdefault(claim.attribute)
+            merged[key] = claim.value
+            changed = True
+        if not changed:
+            return self
+        extended = object.__new__(Dataset)
+        extended._sources = tuple(sources)
+        extended._objects = tuple(objects)
+        extended._attributes = tuple(attributes)
+        extended._name = self._name
+        extended._claims = merged
+        extended._truth = dict(self._truth)
+        return extended
+
     def restrict_sources(self, sources: Iterable[SourceId]) -> "Dataset":
         """Project the dataset onto a subset of sources."""
         keep = set(sources)

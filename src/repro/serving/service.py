@@ -17,13 +17,16 @@ pipeline into a serving engine:
   immutable :class:`~repro.serving.snapshot.TruthSnapshot` with a
   strictly monotone version and a claims-seen watermark; reads are a
   single reference load, wait-free and never blocked by writers.
-* **Bit-identical refits** — in the default ``refit="full"`` mode each
-  batch re-runs the full TD-AC pipeline on the accumulated dataset
-  (through :class:`~repro.core.incremental.IncrementalTDAC`), so every
-  published snapshot is bit-identical to an offline
-  :meth:`TDAC.run <repro.core.tdac.TDAC.run>` over the claims at its
-  watermark.  ``refit="incremental"`` trades that guarantee for
-  touched-block-only refreshes and marks its snapshots ``exact=False``.
+* **Bit-identical refits** — every published snapshot is bit-identical
+  to an offline :meth:`TDAC.run <repro.core.tdac.TDAC.run>` over the
+  claims at its watermark, in *both* refit modes.  ``refit="full"``
+  (default) re-runs the whole pipeline per batch;
+  ``refit="incremental"`` reaches the same result at delta cost through
+  :meth:`IncrementalTDAC.update` — spliced index compile, patched
+  truth-vector matrix, certified partition reuse and touched-block-only
+  base runs — so its snapshots are also ``exact=True`` with a populated
+  ``silhouette_by_k``.  Restores replay the WAL tail through the same
+  delta path by default (``replay_refit``), cutting restart downtime.
 * **Partition reuse** — an optional shared
   :class:`~repro.core.cache.PartitionCache` lets repeated cold starts
   (and full refits over an unchanged corpus) replay the selected
@@ -56,8 +59,9 @@ from repro.observability import SpanTracer, activate, current_tracer
 from repro.serving.snapshot import TruthSnapshot
 from repro.store import StoreError, TruthStore, WALCorruptionWarning, open_store
 
-#: Refit strategies: ``"full"`` guarantees offline bit-identity,
-#: ``"incremental"`` refreshes only the touched blocks.
+#: Refit strategies: both are bit-identical to offline ``TDAC.run``;
+#: ``"full"`` recomputes every stage per batch, ``"incremental"``
+#: reuses whatever the batch provably could not have changed.
 REFIT_MODES = ("full", "incremental")
 
 
@@ -185,12 +189,23 @@ class TruthService:
         (``None`` means defaults).  Its fingerprint keys the partition
         cache and stamps every snapshot.
     refit:
-        ``"full"`` (default; snapshots bit-identical to offline
-        ``TDAC.run``) or ``"incremental"`` (touched-block refreshes via
-        :meth:`IncrementalTDAC.update`, snapshots marked inexact).
+        ``"full"`` (default) re-runs the whole pipeline per batch;
+        ``"incremental"`` applies the exact delta path of
+        :meth:`IncrementalTDAC.update`.  Snapshots are bit-identical to
+        offline ``TDAC.run`` (and ``exact=True``) either way.
+    replay_refit:
+        Refit mode used while :meth:`restore` replays the WAL tail;
+        defaults to ``"incremental"`` so restart downtime is one full
+        fit plus delta refits instead of one full refit per replayed
+        batch.  Steady-state behaviour after the replay follows
+        ``refit``.
     repartition_fraction:
-        Forwarded to :class:`IncrementalTDAC`; only consulted in
-        ``"incremental"`` mode.
+        Forwarded to :class:`IncrementalTDAC`; consulted on the delta
+        path (``"incremental"`` refits and WAL replay).
+    warm_window:
+        Forwarded to :class:`IncrementalTDAC`: half-width of the ``k``
+        window the warm-started partition-drift probe re-fits around
+        the previously chosen ``k``.
     max_batch_size:
         Claim-count target per micro-batch.  A single over-sized ticket
         is still applied whole.
@@ -225,7 +240,9 @@ class TruthService:
         *,
         config: TDACConfig | None = None,
         refit: str = "full",
+        replay_refit: str = "incremental",
         repartition_fraction: float = 0.2,
+        warm_window: int = 1,
         max_batch_size: int = 64,
         max_wait_ms: float = 10.0,
         queue_capacity: int = 1024,
@@ -238,6 +255,11 @@ class TruthService:
             raise ValueError(
                 f"refit must be one of {REFIT_MODES}, got {refit!r}"
             )
+        if replay_refit not in REFIT_MODES:
+            raise ValueError(
+                f"replay_refit must be one of {REFIT_MODES}, "
+                f"got {replay_refit!r}"
+            )
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be at least 1")
         if max_wait_ms < 0:
@@ -247,6 +269,7 @@ class TruthService:
         if snapshot_every < 1:
             raise ValueError("snapshot_every must be at least 1")
         self.refit = refit
+        self.replay_refit = replay_refit
         self.max_batch_size = max_batch_size
         self.max_wait_ms = max_wait_ms
         self.queue_capacity = queue_capacity
@@ -259,6 +282,7 @@ class TruthService:
         self._incremental = IncrementalTDAC(
             base,
             repartition_fraction=repartition_fraction,
+            warm_window=warm_window,
             config=self._config,
             partition_cache=partition_cache,
         )
@@ -427,7 +451,10 @@ class TruthService:
         (acknowledged admissions survive the crash; batches whose abort
         record made it to disk stay rejected) — and returns a running
         service whose published snapshot is bit-identical to an
-        uninterrupted run over the same claim prefix.  Finishes by
+        uninterrupted run over the same claim prefix.  The tail replays
+        under ``replay_refit`` (default ``"incremental"``): one full fit
+        on the checkpointed dataset, then exact delta refits per batch,
+        instead of a full ``TDAC.run`` per replayed batch.  Finishes by
         cutting a fresh checkpoint so the next restore replays nothing.
 
         ``base`` and ``config`` default to what the checkpoint recorded
@@ -770,11 +797,19 @@ class TruthService:
                         self.checkpoint()
 
     def _apply(self, claims: list[Claim]) -> TruthSnapshot:
-        """Refit on ``claims`` and publish the covering snapshot."""
+        """Refit on ``claims`` and publish the covering snapshot.
+
+        Both refit modes publish ``exact=True`` snapshots: the delta
+        path is bit-identical to the full pipeline by construction (see
+        :mod:`repro.core.incremental`).  During a :meth:`restore`, the
+        WAL tail replays under ``replay_refit`` regardless of the
+        steady-state ``refit`` mode.
+        """
         tracer = current_tracer()
         previous = self._snapshot
         assert previous is not None
-        if self.refit == "full":
+        mode = self.replay_refit if self._resuming else self.refit
+        if mode == "full":
             # Extend on a local first: a conflicting batch raises here
             # and leaves the engine (and the published state) untouched.
             dataset = extend_dataset(self._incremental.dataset, claims)
@@ -782,20 +817,19 @@ class TruthService:
                 outcome = self._incremental.fit(dataset)
             tracer.count("serve.refit.full")
             self._stats["refits_full"] += 1
-            result = outcome.result
-            partition = outcome.partition
-            silhouettes = dict(outcome.silhouette_by_k)
-            exact = True
         else:
+            # update() validates the batch before touching any state, so
+            # a conflicting batch is rejected without a published trace.
             with tracer.span(
                 "serve.refit", mode="incremental", claims=len(claims)
             ):
-                result = self._incremental.update(claims)
+                outcome = self._incremental.update(claims)
             tracer.count("serve.refit.incremental")
             self._stats["refits_incremental"] += 1
-            partition = self._incremental.partition
-            silhouettes = {}
-            exact = False
+        result = outcome.result
+        partition = outcome.partition
+        silhouettes = dict(outcome.silhouette_by_k)
+        exact = True
         with self._cond:
             self._applied.extend(claims)
             watermark = self._watermark_base + len(self._applied)

@@ -10,10 +10,11 @@ readers are wait-free and always see an internally consistent
   in admission order, which pins the exact offline dataset it must
   match;
 * staleness metadata: how many claims were still queued when the
-  snapshot was published, whether the refit was ``exact`` (full
-  :meth:`TDAC.run <repro.core.tdac.TDAC.run>` semantics) or an
-  incremental block refresh, and the fingerprints identifying the
-  accumulated dataset and config.
+  snapshot was published, whether the refit carried ``exact``
+  (:meth:`TDAC.run <repro.core.tdac.TDAC.run>`-bit-identical) semantics
+  — true for both the full and the delta refit path since 1.4.0; the
+  flag is kept for historical snapshots — and the fingerprints
+  identifying the accumulated dataset and config.
 
 ``to_dict`` emits the shared ``tdac-result/v1`` schema with a
 ``serving`` sub-object, so snapshot serialization is a superset of every

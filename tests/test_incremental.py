@@ -64,14 +64,24 @@ class TestUpdate:
         for fact, value in baseline.items():
             assert refreshed.predictions[fact] == value
 
-    def test_new_attribute_parked_in_new_block(self, fitted):
+    def test_new_attribute_joins_certified_partition(self, fitted):
+        # New attributes are no longer parked in a synthetic block: the
+        # delta path re-certifies the partition with a cold sweep, so
+        # the attribute lands exactly where offline TD-AC would put it.
+        from repro.core import TDAC, TDACConfig
+
         incremental, dataset, _ = fitted
         batch = [
             Claim(dataset.sources[0], "o1", "brand-new-attr", 1),
             Claim(dataset.sources[1], "o1", "brand-new-attr", 1),
         ]
         result = incremental.update(batch)
-        assert ("brand-new-attr",) in incremental.partition.blocks
+        covered = {a for block in incremental.partition.blocks for a in block}
+        assert "brand-new-attr" in covered
+        offline = TDAC(MajorityVote(), config=TDACConfig(seed=0)).run(
+            incremental.dataset
+        )
+        assert incremental.partition == offline.partition
         assert result.predictions[Fact("o1", "brand-new-attr")] == 1
 
     def test_large_batch_triggers_repartition(self, fitted):

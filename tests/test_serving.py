@@ -255,18 +255,34 @@ class TestBackpressure:
 
 
 class TestRefitModes:
-    def test_incremental_mode_marks_snapshots_inexact(self, dataset):
+    def test_incremental_mode_publishes_exact_snapshots(self, dataset):
         with TruthService(
             MajorityVote(), dataset, refit="incremental", max_wait_ms=1.0
         ) as service:
             claim = fresh_claims(dataset, "inc", 1)[0]
             service.ingest([claim], wait=True, timeout=60)
             snapshot = service.snapshot()
-            assert not snapshot.exact
+            assert snapshot.exact
             assert snapshot.version == 2
             assert service.stats["refits_incremental"] == 1
             assert service.query(claim.object, claim.attribute).value == (
                 claim.value
+            )
+            # The delta refit publishes the certified sweep, not an
+            # approximation: silhouettes are populated and the whole
+            # snapshot matches the offline pipeline at its watermark.
+            offline = TDAC(
+                MajorityVote(), config=service.config
+            ).run(service.replay_dataset(snapshot.watermark))
+            assert dict(snapshot.predictions) == dict(
+                offline.result.predictions
+            )
+            assert dict(snapshot.source_trust) == dict(
+                offline.result.source_trust
+            )
+            assert snapshot.partition == offline.partition
+            assert dict(snapshot.silhouette_by_k) == dict(
+                offline.silhouette_by_k
             )
 
     def test_full_mode_counts_refits(self, dataset):
