@@ -45,7 +45,7 @@ from repro.core import IncrementalTDAC, TDACConfig
 from repro.core.incremental import extend_dataset
 from repro.data import Claim
 from repro.datasets import make_synthetic
-from repro.serving import TruthService
+from repro.serving import ServiceConfig, TruthService
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_incremental.json"
 
@@ -173,8 +173,10 @@ def build_store(store_dir, dataset, batches, base_name, config):
         dataset,
         config=config,
         store=store_dir,
-        max_wait_ms=1.0,
-        snapshot_every=10_000,  # keep the whole tail in the WAL
+        # keep the whole tail in the WAL
+        service_config=ServiceConfig(
+            max_wait_ms=1.0, snapshot_every=10_000
+        ),
     )
     service.start()
     for batch in batches:
@@ -201,7 +203,8 @@ def measure_restore(cfg: dict, workdir: Path) -> dict:
         for mode in ("incremental", "full"):
             t0 = time.perf_counter()
             restored[mode] = TruthService.restore(
-                dirs[mode], replay_refit=mode
+                dirs[mode],
+                service_config=ServiceConfig(replay_refit=mode),
             )
             downtimes[mode] = time.perf_counter() - t0
         a = restored["incremental"].snapshot()

@@ -19,7 +19,9 @@ depends on, from scratch:
 * :mod:`repro.observability` — span tracing and structured run reports
   for every pipeline stage;
 * :mod:`repro.serving` — the long-lived :class:`TruthService`:
-  micro-batched ingests, versioned snapshots, backpressure;
+  micro-batched ingests, versioned snapshots, backpressure; plus the
+  sharded multi-tenant layer (:class:`ShardRouter`,
+  :class:`TenantRegistry`) behind the ``tdac-serve/v1`` wire schema;
 * :mod:`repro.store` — durable claim WAL, versioned snapshot
   checkpoints and crash recovery for the serving layer.
 
@@ -88,13 +90,20 @@ from repro.execution import ExecutionPolicy
 from repro.observability import SpanTracer
 from repro.serving import (
     AsyncTruthClient,
+    MergedSnapshot,
+    SERVE_SCHEMA,
+    ServeEnvelope,
+    ServiceConfig,
+    ShardRouter,
+    TenantRegistry,
     TruthServer,
     TruthService,
     TruthSnapshot,
+    serve_envelope_from_dict,
 )
 from repro.store import TruthStore
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 #: The stable public surface: every name here imports from ``repro``
 #: directly and is covered by the API-stability tests.  Additions are
@@ -117,16 +126,22 @@ __all__ = [
     "IncrementalTDAC",
     "Investment",
     "MajorityVote",
+    "MergedSnapshot",
     "Partition",
     "PartitionCache",
     "PooledInvestment",
     "RESULT_SCHEMA",
+    "SERVE_SCHEMA",
+    "ServeEnvelope",
+    "ServiceConfig",
+    "ShardRouter",
     "SimpleLCA",
     "SpanTracer",
     "Sums",
     "TDAC",
     "TDACConfig",
     "TDACResult",
+    "TenantRegistry",
     "ThreeEstimates",
     "TruthDiscoveryAlgorithm",
     "TruthDiscoveryResult",
@@ -147,6 +162,7 @@ __all__ = [
     "evaluation",
     "metrics",
     "observability",
+    "serve_envelope_from_dict",
     "serving",
     "store",
 ]

@@ -263,6 +263,28 @@ def _build_parser() -> argparse.ArgumentParser:
         "loudly and the connection dropped (with --listen)",
     )
     serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the claim stream across this many in-process "
+        "service workers (attribute-hash routing with a block exception "
+        "list); snapshots serve the exact merged view",
+    )
+    serve.add_argument(
+        "--tenants",
+        metavar="NAME[,NAME...]",
+        default=None,
+        help="serve these named tenants multiplexed over a shared "
+        "engine; requests route by their 'tenant' field (first name is "
+        "the default tenant)",
+    )
+    serve.add_argument(
+        "--tenant-quota",
+        type=int,
+        default=None,
+        help="per-tenant pending-claims admission quota (with --tenants)",
+    )
+    serve.add_argument(
         "--k-max",
         type=int,
         default=None,
@@ -451,7 +473,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
         )
     elif args.command == "serve":
-        from repro.serving import PartitionCache, TruthService, run_smoke, serve_jsonl
+        from repro.serving import (
+            PartitionCache,
+            ServiceConfig,
+            TruthService,
+            run_smoke,
+            serve_jsonl,
+        )
 
         if args.smoke:
             return run_smoke(args.algorithm, seed=args.seed)
@@ -460,8 +488,24 @@ def main(argv: Sequence[str] | None = None) -> int:
             from repro.observability import SpanTracer
 
             tracer = SpanTracer()
+        service_config = ServiceConfig(
+            refit=args.refit,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+            queue_capacity=args.queue_capacity,
+            snapshot_every=args.snapshot_every,
+            drain_timeout=args.drain_timeout,
+            idle_timeout=args.idle_timeout,
+            max_inflight_per_connection=args.max_inflight,
+            max_line_bytes=args.max_line_bytes,
+        )
+        tenants = (
+            [name for name in args.tenants.split(",") if name]
+            if args.tenants is not None
+            else []
+        )
         store = None
-        if args.store_dir is not None:
+        if args.store_dir is not None and args.shards <= 1 and not tenants:
             from repro.store import TruthStore
 
             store = TruthStore(args.store_dir)
@@ -475,26 +519,53 @@ def main(argv: Sequence[str] | None = None) -> int:
                 store,
                 partition_cache=PartitionCache(),
                 tracer=tracer,
-                refit=args.refit,
-                max_batch_size=args.max_batch_size,
-                max_wait_ms=args.max_wait_ms,
-                queue_capacity=args.queue_capacity,
-                snapshot_every=args.snapshot_every,
+                service_config=service_config,
             )
+        elif tenants:
+            from repro.serving import TenantRegistry
+
+            dataset = load(args.dataset, seed=args.seed, scale=args.scale)
+            config = _config_from_args(args)
+            registry = TenantRegistry(
+                store_root=args.store_dir,
+                tracer=tracer,
+                n_shards=max(1, args.shards),
+                service_config=service_config,
+            )
+            for name in tenants:
+                registry.register(
+                    name,
+                    create(args.algorithm),
+                    dataset,
+                    config=config,
+                    quota=args.tenant_quota,
+                )
+            service = registry
+        elif args.shards > 1:
+            from repro.serving import ShardRouter
+
+            dataset = load(args.dataset, seed=args.seed, scale=args.scale)
+            service = ShardRouter(
+                create(args.algorithm),
+                dataset,
+                n_shards=args.shards,
+                config=_config_from_args(args),
+                service_config=service_config,
+                partition_cache=PartitionCache(),
+                tracer=tracer,
+                store=args.store_dir,
+            )
+            service.start()
         else:
             dataset = load(args.dataset, seed=args.seed, scale=args.scale)
             service = TruthService(
                 create(args.algorithm),
                 dataset,
                 config=_config_from_args(args),
-                refit=args.refit,
-                max_batch_size=args.max_batch_size,
-                max_wait_ms=args.max_wait_ms,
-                queue_capacity=args.queue_capacity,
+                service_config=service_config,
                 partition_cache=PartitionCache(),
                 tracer=tracer,
                 store=store,
-                snapshot_every=args.snapshot_every,
             )
             service.start()
         try:
@@ -505,10 +576,6 @@ def main(argv: Sequence[str] | None = None) -> int:
                     service,
                     args.listen,
                     announce=sys.stdout,
-                    drain_timeout=args.drain_timeout,
-                    idle_timeout=args.idle_timeout,
-                    max_inflight_per_connection=args.max_inflight,
-                    max_line_bytes=args.max_line_bytes,
                 )
             else:
                 code = serve_jsonl(service, sys.stdin, sys.stdout)

@@ -20,7 +20,22 @@ provides it:
 * :mod:`~repro.serving.net` / :mod:`~repro.serving.client` — the
   asyncio TCP front-end behind ``repro serve --listen`` (persistent
   multiplexed connections, per-connection backpressure, graceful
-  drain) and the matching reconnect/backoff/retry-after client.
+  drain) and the matching reconnect/backoff/retry-after client;
+* :class:`~repro.serving.config.ServiceConfig` — one frozen,
+  fingerprintable config object holding every serving knob (the old
+  per-knob keywords survive behind a deprecation shim);
+* :mod:`~repro.serving.schema` — the versioned ``tdac-serve/v1`` wire
+  envelope every front-end response carries, with
+  :class:`ServeEnvelope` / :func:`serve_envelope_from_dict` as the
+  typed client-side view;
+* :class:`~repro.serving.sharding.ShardRouter` — N service workers
+  partitioning the attribute space (hash homes + an exception list for
+  straddling blocks), an exact lazily-merged global view
+  (:class:`MergedSnapshot`), skew-triggered rebalancing with exact
+  WAL/checkpoint hand-off, and crash/restore fault injection;
+* :class:`~repro.serving.tenancy.TenantRegistry` — named tenants
+  multiplexed over fingerprint-keyed shared engines with per-tenant
+  admission quotas, counters and WAL namespaces.
 
 Durability is opt-in through :mod:`repro.store`: pass ``store=`` to
 :class:`TruthService` and every admission is WAL-logged before its
@@ -35,8 +50,14 @@ from repro.serving.client import (
     RetryPolicy,
     TruthClientError,
 )
+from repro.serving.config import ServiceConfig, service_config_from_dict
 from repro.serving.frontend import handle_request, run_smoke, serve_jsonl
 from repro.serving.net import TruthServer, serve_network
+from repro.serving.schema import (
+    SERVE_SCHEMA,
+    ServeEnvelope,
+    serve_envelope_from_dict,
+)
 from repro.serving.service import (
     IngestTicket,
     QueryAnswer,
@@ -45,23 +66,41 @@ from repro.serving.service import (
     ServiceStoppedError,
     TruthService,
 )
+from repro.serving.sharding import MergedSnapshot, ShardRouter
 from repro.serving.snapshot import TruthSnapshot
+from repro.serving.tenancy import (
+    TenantHandle,
+    TenantQuotaError,
+    TenantRegistry,
+    UnknownTenantError,
+)
 
 __all__ = [
     "AsyncTruthClient",
     "IngestTicket",
+    "MergedSnapshot",
     "PartitionCache",
     "QueryAnswer",
     "REFIT_MODES",
     "RetryPolicy",
+    "SERVE_SCHEMA",
+    "ServeEnvelope",
+    "ServiceConfig",
     "ServiceOverloadedError",
     "ServiceStoppedError",
+    "ShardRouter",
+    "TenantHandle",
+    "TenantQuotaError",
+    "TenantRegistry",
     "TruthClientError",
     "TruthServer",
     "TruthService",
     "TruthSnapshot",
+    "UnknownTenantError",
     "handle_request",
     "run_smoke",
+    "serve_envelope_from_dict",
     "serve_jsonl",
     "serve_network",
+    "service_config_from_dict",
 ]

@@ -97,6 +97,7 @@ class AsyncTruthClient:
         request_timeout: float = 60.0,
         retry: RetryPolicy | None = None,
         max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
+        tenant: str | None = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -104,6 +105,10 @@ class AsyncTruthClient:
         self.request_timeout = request_timeout
         self.retry = retry if retry is not None else RetryPolicy()
         self.max_line_bytes = max_line_bytes
+        #: When set, stamped as the ``tenant`` field on every request
+        #: (unless the payload already carries one), so a multi-tenant
+        #: server routes this client's traffic to that tenant's handle.
+        self.tenant = tenant
         self.stats = {
             "requests": 0,
             "responses": 0,
@@ -210,6 +215,8 @@ class AsyncTruthClient:
         request_id = self._next_id
         self._next_id += 1
         message = dict(payload)
+        if self.tenant is not None:
+            message.setdefault("tenant", self.tenant)
         message["id"] = request_id
         self._writer.write(
             (json.dumps(message, sort_keys=True, default=str) + "\n").encode(

@@ -31,6 +31,7 @@ import json
 from typing import IO, Any, Iterable
 
 from repro.data.types import Claim
+from repro.serving.schema import envelope_error, envelope_tag
 from repro.serving.service import ServiceOverloadedError, TruthService
 
 
@@ -70,42 +71,70 @@ def handle_request(service: TruthService, request: dict) -> dict:
     does not pin one thread per in-flight request).
     """
     op = request.get("op")
+    # Multi-tenant dispatch: a registry resolves the request's (possibly
+    # absent) ``tenant`` field to the handle actually served; a bare
+    # service ignores the field entirely.
+    resolver = getattr(service, "resolve_tenant", None)
+    if resolver is not None:
+        try:
+            service = resolver(request.get("tenant"))
+        except KeyError as exc:
+            return envelope_error(str(exc.args[0] if exc.args else exc))
+    # Multi-tenant / sharded wrappers advertise routing context for the
+    # tdac-serve/v1 envelope; a bare TruthService has none.
+    context = getattr(service, "wire_context", None) or {}
+    tenant = context.get("tenant")
+    shard = context.get("shard")
+
+    def _tag(response: dict) -> dict:
+        return envelope_tag(response, tenant=tenant, shard=shard)
+
     if op == "ingest":
         try:
             ticket = service.ingest(parse_claims(request.get("claims")))
             snapshot = ticket.wait()
         except ServiceOverloadedError as exc:
-            return {
-                "ok": False,
-                "error": "overloaded",
-                "retry_after_seconds": exc.retry_after_seconds,
+            return envelope_error(
+                "overloaded",
+                op="ingest",
+                retry_after_seconds=exc.retry_after_seconds,
+                tenant=tenant,
+                shard=shard,
+            )
+        return _tag(
+            {
+                "ok": True,
+                "op": "ingest",
+                "applied": len(ticket.claims),
+                "offset": ticket.offset,
+                "version": snapshot.version,
+                "watermark": snapshot.watermark,
             }
-        return {
-            "ok": True,
-            "op": "ingest",
-            "applied": len(ticket.claims),
-            "offset": ticket.offset,
-            "version": snapshot.version,
-            "watermark": snapshot.watermark,
-        }
+        )
     if op == "query":
         answer = service.query(request.get("object"), request.get("attribute"))
-        return {
-            "ok": True,
-            "op": "query",
-            "object": answer.object,
-            "attribute": answer.attribute,
-            "value": answer.value,
-            "found": answer.found,
-            "version": answer.version,
-            "watermark": answer.watermark,
-            "exact": answer.exact,
-        }
+        return _tag(
+            {
+                "ok": True,
+                "op": "query",
+                "object": answer.object,
+                "attribute": answer.attribute,
+                "value": answer.value,
+                "found": answer.found,
+                "version": answer.version,
+                "watermark": answer.watermark,
+                "exact": answer.exact,
+            }
+        )
     if op == "snapshot":
-        return {"ok": True, "op": "snapshot", "snapshot": service.snapshot().to_dict()}
+        return _tag(
+            {"ok": True, "op": "snapshot", "snapshot": service.snapshot().to_dict()}
+        )
     if op == "stats":
-        return {"ok": True, "op": "stats", "stats": service.stats}
-    return {"ok": False, "error": f"unknown op {op!r}"}
+        return _tag({"ok": True, "op": "stats", "stats": service.stats})
+    return envelope_error(
+        f"unknown op {op!r}", tenant=tenant, shard=shard
+    )
 
 
 def serve_jsonl(
@@ -130,7 +159,7 @@ def serve_jsonl(
                 raise ValueError("request must be a JSON object")
             response = handle_request(service, request)
         except Exception as exc:  # a bad request must not stop serving
-            response = {"ok": False, "error": str(exc)}
+            response = envelope_error(str(exc))
         try:
             out.write(json.dumps(response, sort_keys=True, default=str) + "\n")
             out.flush()
@@ -158,6 +187,7 @@ def run_smoke(
     from repro.core import TDAC, PartitionCache, TDACConfig
     from repro.datasets import make_synthetic
     from repro.observability import SpanTracer
+    from repro.serving.config import ServiceConfig
 
     out = sys.stdout if out is None else out
     dataset = make_synthetic("DS1", n_objects=20, seed=seed).dataset
@@ -167,9 +197,9 @@ def run_smoke(
         create(algorithm),
         dataset,
         config=config,
+        service_config=ServiceConfig(max_wait_ms=1.0),
         partition_cache=PartitionCache(),
         tracer=tracer,
-        max_wait_ms=1.0,
     )
     with service:
         source = dataset.sources[0]
@@ -214,7 +244,10 @@ def run_smoke(
     ok = all(checks.values())
     out.write(
         json.dumps(
-            {"ok": ok, "op": "smoke", "checks": checks, "stats": service.stats},
+            envelope_tag(
+                {"ok": ok, "op": "smoke", "checks": checks,
+                 "stats": service.stats}
+            ),
             sort_keys=True,
             default=str,
         )

@@ -61,15 +61,29 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import IO, Any
 
 from repro.observability import SpanTracer
+from repro.serving.config import (
+    DEFAULT_MAX_LINE_BYTES,
+    ServiceConfig,
+    fold_legacy_kwargs,
+)
 from repro.serving.frontend import handle_request, parse_claims
+from repro.serving.schema import envelope_error, envelope_tag
 from repro.serving.service import (
     IngestTicket,
     ServiceOverloadedError,
     TruthService,
 )
 
-#: Default per-line framing bound (1 MiB of JSON is already a huge batch).
-DEFAULT_MAX_LINE_BYTES = 1 << 20
+#: The per-knob keywords :class:`TruthServer` historically accepted;
+#: still honoured through the :class:`ServiceConfig` deprecation shim.
+SERVER_LEGACY_KWARGS = (
+    "max_line_bytes",
+    "max_inflight_per_connection",
+    "idle_timeout",
+    "write_timeout",
+    "write_buffer_bytes",
+    "drain_timeout",
+)
 
 #: Counter names the server maintains (and mirrors onto the tracer).
 _COUNTERS = (
@@ -139,13 +153,10 @@ class _Connection:
                 # max_line_bytes.  Reject loudly, then drop the peer.
                 server._count("net.malformed")
                 await self.send(
-                    {
-                        "ok": False,
-                        "error": (
-                            "request line exceeds "
-                            f"max_line_bytes={server.max_line_bytes}"
-                        ),
-                    }
+                    envelope_error(
+                        "request line exceeds "
+                        f"max_line_bytes={server.max_line_bytes}"
+                    )
                 )
                 break
             except (ConnectionError, OSError):
@@ -166,7 +177,7 @@ class _Connection:
             except ValueError as exc:
                 server._count("net.malformed")
                 if not await self.send(
-                    {"ok": False, "error": f"malformed request: {exc}"}
+                    envelope_error(f"malformed request: {exc}")
                 ):
                     break
                 continue
@@ -175,11 +186,10 @@ class _Connection:
                 await self.send(
                     self._tag(
                         request,
-                        {
-                            "ok": False,
-                            "error": "draining",
-                            "retry_after_seconds": server.drain_timeout,
-                        },
+                        envelope_error(
+                            "draining",
+                            retry_after_seconds=server.drain_timeout,
+                        ),
                     )
                 )
                 break
@@ -209,7 +219,7 @@ class _Connection:
             raise
         except Exception as exc:  # a bad request must not stop serving
             server._count("net.request_errors")
-            response = {"ok": False, "error": str(exc)}
+            response = envelope_error(str(exc))
         finally:
             server._gauge_inflight(-1)
         await self.send(self._tag(request, response))
@@ -272,25 +282,23 @@ class TruthServer:
     Parameters
     ----------
     service:
-        A **started** :class:`TruthService` (the server never starts it).
+        A **started** :class:`TruthService` (the server never starts
+        it), or any object with the same duck type — e.g. a started
+        :class:`~repro.serving.sharding.ShardRouter`, or a
+        :class:`~repro.serving.tenancy.TenantRegistry` whose
+        ``resolve_tenant`` the request paths consult to route requests
+        carrying a ``tenant`` field.
     host, port:
         Bind address; port 0 picks a free port (reported by
         :meth:`start`).
-    max_line_bytes:
-        Framing bound; longer request lines are rejected and the
-        connection dropped.
-    max_inflight_per_connection:
-        Concurrent-request cap per connection; requests beyond it get an
-        ``overloaded`` response with a retry hint.
-    idle_timeout:
-        Seconds a connection may sit without completing a request line
-        before the server closes it.
-    write_timeout / write_buffer_bytes:
-        Responses must drain a ``write_buffer_bytes``-bounded buffer
-        within ``write_timeout`` seconds or the connection is dropped
-        (slow-loris protection).
-    drain_timeout:
-        Bound on the flush-in-flight phase of :meth:`drain`.
+    service_config:
+        :class:`~repro.serving.config.ServiceConfig` providing the
+        network knobs — ``max_line_bytes``,
+        ``max_inflight_per_connection``, ``idle_timeout``,
+        ``write_timeout``, ``write_buffer_bytes``, ``drain_timeout``
+        (``None`` means the service's own config, falling back to
+        defaults).  The old per-knob keywords still work through a
+        :class:`DeprecationWarning` shim; see CHANGELOG 1.5.0.
     stop_service_on_drain:
         Whether :meth:`drain` calls ``service.stop()`` (commit WAL, cut
         the final checkpoint) before closing sockets.  The CLI leaves
@@ -306,37 +314,35 @@ class TruthServer:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
-        max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
-        max_inflight_per_connection: int = 32,
-        idle_timeout: float = 300.0,
-        write_timeout: float = 10.0,
-        write_buffer_bytes: int = 256 * 1024,
-        drain_timeout: float = 30.0,
+        service_config: ServiceConfig | None = None,
         stop_service_on_drain: bool = True,
         tracer: SpanTracer | None = None,
+        **legacy,
     ) -> None:
-        if max_line_bytes < 64:
-            raise ValueError("max_line_bytes must be at least 64")
-        if max_inflight_per_connection < 1:
-            raise ValueError("max_inflight_per_connection must be >= 1")
-        for name, value in (
-            ("idle_timeout", idle_timeout),
-            ("write_timeout", write_timeout),
-            ("drain_timeout", drain_timeout),
-        ):
-            if value <= 0:
-                raise ValueError(f"{name} must be positive")
+        if service_config is None and not legacy:
+            # Inherit the service's own config so one ServiceConfig
+            # passed to TruthService flows through to the network knobs.
+            service_config = getattr(service, "service_config", None)
+        service_config = fold_legacy_kwargs(
+            "TruthServer", service_config, legacy, SERVER_LEGACY_KWARGS
+        )
+        self.service_config = service_config
         self.service = service
         self.host = host
         self.port = port
-        self.max_line_bytes = max_line_bytes
-        self.max_inflight_per_connection = max_inflight_per_connection
-        self.idle_timeout = idle_timeout
-        self.write_timeout = write_timeout
-        self.write_buffer_bytes = write_buffer_bytes
-        self.drain_timeout = drain_timeout
+        self.max_line_bytes = service_config.max_line_bytes
+        self.max_inflight_per_connection = (
+            service_config.max_inflight_per_connection
+        )
+        self.idle_timeout = service_config.idle_timeout
+        self.write_timeout = service_config.write_timeout
+        self.write_buffer_bytes = service_config.write_buffer_bytes
+        self.drain_timeout = service_config.drain_timeout
         self.stop_service_on_drain = stop_service_on_drain
-        self._tracer = tracer if tracer is not None else service._tracer
+        self._tracer = (
+            tracer if tracer is not None
+            else getattr(service, "_tracer", None)
+        )
         self._counters = dict.fromkeys(_COUNTERS, 0)
         self._inflight = 0
         self._conns: set[_Connection] = set()
@@ -475,12 +481,12 @@ class TruthServer:
     def _overloaded_response(self) -> dict:
         # Mirror ServiceOverloadedError's hint: roughly how long until
         # the batcher works off what is currently ahead of the caller.
-        retry_after = max(self.service._last_batch_seconds, 1e-3)
-        return {
-            "ok": False,
-            "error": "overloaded",
-            "retry_after_seconds": retry_after,
-        }
+        retry_after = max(
+            getattr(self.service, "_last_batch_seconds", 0.05), 1e-3
+        )
+        return envelope_error(
+            "overloaded", retry_after_seconds=retry_after
+        )
 
     async def _handle_async(self, request: dict) -> dict:
         op = request.get("op")
@@ -492,6 +498,16 @@ class TruthServer:
         return response
 
     async def _handle_ingest(self, request: dict) -> dict:
+        # Multi-tenant dispatch mirrors frontend.handle_request: resolve
+        # the request's tenant to its handle (quota enforcement and
+        # per-tenant counters live there), or serve the bare service.
+        target = self.service
+        resolver = getattr(target, "resolve_tenant", None)
+        if resolver is not None:
+            try:
+                target = resolver(request.get("tenant"))
+            except KeyError as exc:
+                return envelope_error(str(exc.args[0] if exc.args else exc))
         claims = parse_claims(request.get("claims"))
         loop = asyncio.get_running_loop()
         assert self._executor is not None
@@ -499,23 +515,36 @@ class TruthServer:
             # Admission can touch the WAL (fsync), so it runs off-loop;
             # waiting for application costs no thread at all.
             ticket = await loop.run_in_executor(
-                self._executor, self.service.ingest, claims
+                self._executor, target.ingest, claims
             )
         except ServiceOverloadedError as exc:
             self._count("net.overloaded")
-            return {
-                "ok": False,
-                "error": "overloaded",
-                "retry_after_seconds": exc.retry_after_seconds,
-            }
+            return envelope_error(
+                "overloaded",
+                op="ingest",
+                retry_after_seconds=exc.retry_after_seconds,
+                **self._wire_context(target),
+            )
         snapshot = await self._await_ticket(ticket)
+        return envelope_tag(
+            {
+                "ok": True,
+                "op": "ingest",
+                "applied": len(ticket.claims),
+                "offset": ticket.offset,
+                "version": snapshot.version,
+                "watermark": snapshot.watermark,
+            },
+            **self._wire_context(target),
+        )
+
+    def _wire_context(self, target=None) -> dict:
+        context = getattr(
+            self.service if target is None else target, "wire_context", None
+        ) or {}
         return {
-            "ok": True,
-            "op": "ingest",
-            "applied": len(ticket.claims),
-            "offset": ticket.offset,
-            "version": snapshot.version,
-            "watermark": snapshot.watermark,
+            "tenant": context.get("tenant"),
+            "shard": context.get("shard"),
         }
 
     @staticmethod

@@ -56,13 +56,26 @@ from repro.core.incremental import IncrementalTDAC, extend_dataset
 from repro.data.dataset import Dataset
 from repro.data.types import AttributeId, Claim, ObjectId, Value
 from repro.observability import SpanTracer, activate, current_tracer
+from repro.serving.config import (
+    REFIT_MODES,
+    ServiceConfig,
+    fold_legacy_kwargs,
+)
 from repro.serving.snapshot import TruthSnapshot
 from repro.store import StoreError, TruthStore, WALCorruptionWarning, open_store
 
-#: Refit strategies: both are bit-identical to offline ``TDAC.run``;
-#: ``"full"`` recomputes every stage per batch, ``"incremental"``
-#: reuses whatever the batch provably could not have changed.
-REFIT_MODES = ("full", "incremental")
+#: The per-knob keywords :class:`TruthService` historically accepted;
+#: still honoured through the :class:`ServiceConfig` deprecation shim.
+SERVICE_LEGACY_KWARGS = (
+    "refit",
+    "replay_refit",
+    "repartition_fraction",
+    "warm_window",
+    "max_batch_size",
+    "max_wait_ms",
+    "queue_capacity",
+    "snapshot_every",
+)
 
 
 class ServiceOverloadedError(RuntimeError):
@@ -188,33 +201,14 @@ class TruthService:
         :class:`~repro.core.config.TDACConfig` shared by every refit
         (``None`` means defaults).  Its fingerprint keys the partition
         cache and stamps every snapshot.
-    refit:
-        ``"full"`` (default) re-runs the whole pipeline per batch;
-        ``"incremental"`` applies the exact delta path of
-        :meth:`IncrementalTDAC.update`.  Snapshots are bit-identical to
-        offline ``TDAC.run`` (and ``exact=True``) either way.
-    replay_refit:
-        Refit mode used while :meth:`restore` replays the WAL tail;
-        defaults to ``"incremental"`` so restart downtime is one full
-        fit plus delta refits instead of one full refit per replayed
-        batch.  Steady-state behaviour after the replay follows
-        ``refit``.
-    repartition_fraction:
-        Forwarded to :class:`IncrementalTDAC`; consulted on the delta
-        path (``"incremental"`` refits and WAL replay).
-    warm_window:
-        Forwarded to :class:`IncrementalTDAC`: half-width of the ``k``
-        window the warm-started partition-drift probe re-fits around
-        the previously chosen ``k``.
-    max_batch_size:
-        Claim-count target per micro-batch.  A single over-sized ticket
-        is still applied whole.
-    max_wait_ms:
-        How long the batcher lingers for stragglers after the first
-        ticket of a batch arrives.
-    queue_capacity:
-        Bound on pending (admitted, unapplied) claims; admissions beyond
-        it raise :class:`ServiceOverloadedError`.
+    service_config:
+        :class:`~repro.serving.config.ServiceConfig` holding every
+        serving knob — refit modes, micro-batch sizing, queue bounds,
+        checkpoint cadence (``None`` means defaults).  The old per-knob
+        keywords (``refit=``, ``max_batch_size=``, ...) still work
+        through a :class:`DeprecationWarning` shim that folds them into
+        the equivalent config; see CHANGELOG 1.5.0 for the removal
+        window.
     partition_cache:
         Optional shared :class:`~repro.core.cache.PartitionCache`.
     tracer:
@@ -229,8 +223,6 @@ class TruthService:
         and checkpoints are cut on start, every ``snapshot_every``
         batches and on clean :meth:`stop`.  ``None`` (default) keeps the
         service purely in-memory.
-    snapshot_every:
-        How many applied batches between periodic checkpoints.
     """
 
     def __init__(
@@ -239,50 +231,25 @@ class TruthService:
         dataset: Dataset,
         *,
         config: TDACConfig | None = None,
-        refit: str = "full",
-        replay_refit: str = "incremental",
-        repartition_fraction: float = 0.2,
-        warm_window: int = 1,
-        max_batch_size: int = 64,
-        max_wait_ms: float = 10.0,
-        queue_capacity: int = 1024,
+        service_config: ServiceConfig | None = None,
         partition_cache: PartitionCache | None = None,
         tracer: SpanTracer | None = None,
         store: TruthStore | str | Path | None = None,
-        snapshot_every: int = 8,
+        **legacy,
     ) -> None:
-        if refit not in REFIT_MODES:
-            raise ValueError(
-                f"refit must be one of {REFIT_MODES}, got {refit!r}"
-            )
-        if replay_refit not in REFIT_MODES:
-            raise ValueError(
-                f"replay_refit must be one of {REFIT_MODES}, "
-                f"got {replay_refit!r}"
-            )
-        if max_batch_size < 1:
-            raise ValueError("max_batch_size must be at least 1")
-        if max_wait_ms < 0:
-            raise ValueError("max_wait_ms must be non-negative")
-        if queue_capacity < 1:
-            raise ValueError("queue_capacity must be at least 1")
-        if snapshot_every < 1:
-            raise ValueError("snapshot_every must be at least 1")
-        self.refit = refit
-        self.replay_refit = replay_refit
-        self.max_batch_size = max_batch_size
-        self.max_wait_ms = max_wait_ms
-        self.queue_capacity = queue_capacity
+        service_config = fold_legacy_kwargs(
+            "TruthService", service_config, legacy, SERVICE_LEGACY_KWARGS
+        )
+        self.service_config = service_config
         self.partition_cache = partition_cache
         self.store = None if store is None else open_store(store)
-        self.snapshot_every = snapshot_every
         self._base = base
         self._config = config if config is not None else TDACConfig()
         self._initial_dataset = dataset
         self._incremental = IncrementalTDAC(
             base,
-            repartition_fraction=repartition_fraction,
-            warm_window=warm_window,
+            repartition_fraction=service_config.repartition_fraction,
+            warm_window=service_config.warm_window,
             config=self._config,
             partition_cache=partition_cache,
         )
@@ -327,6 +294,32 @@ class TruthService:
     def config(self) -> TDACConfig:
         """The config every refit runs under."""
         return self._config
+
+    # Per-knob views over ``service_config`` — existing callers (and the
+    # network layer) read these as plain attributes.
+    @property
+    def refit(self) -> str:
+        return self.service_config.refit
+
+    @property
+    def replay_refit(self) -> str:
+        return self.service_config.replay_refit
+
+    @property
+    def max_batch_size(self) -> int:
+        return self.service_config.max_batch_size
+
+    @property
+    def max_wait_ms(self) -> float:
+        return self.service_config.max_wait_ms
+
+    @property
+    def queue_capacity(self) -> int:
+        return self.service_config.queue_capacity
+
+    @property
+    def snapshot_every(self) -> int:
+        return self.service_config.snapshot_every
 
     def start(self) -> TruthSnapshot:
         """Run the initial fit, publish the first snapshot, start the batcher.
@@ -440,6 +433,7 @@ class TruthService:
         base: TruthDiscoveryAlgorithm | None = None,
         *,
         config: TDACConfig | None = None,
+        service_config: ServiceConfig | None = None,
         partition_cache: PartitionCache | None = None,
         tracer: SpanTracer | None = None,
         **service_kwargs,
@@ -484,6 +478,7 @@ class TruthService:
             base,
             dataset,
             config=config,
+            service_config=service_config,
             partition_cache=partition_cache,
             tracer=tracer,
             store=store,
@@ -634,11 +629,17 @@ class TruthService:
 
     @property
     def stats(self) -> dict:
-        """Serving counters plus engine and cache bookkeeping."""
+        """Serving counters plus engine and cache bookkeeping.
+
+        Counters, queue depth and the published snapshot's version and
+        watermark are all read in one hold of the snapshot lock, so a
+        mid-batch read cannot report e.g. ``queue_depth`` and
+        ``overloaded_tickets`` from different instants.
+        """
         with self._cond:
             out = dict(self._stats)
             out["pending_claims"] = self._pending_claims + self._in_flight
-        snapshot = self._snapshot
+            snapshot = self._snapshot
         out["version"] = snapshot.version if snapshot else 0
         out["watermark"] = snapshot.watermark if snapshot else 0
         out["engine"] = self._incremental.stats
@@ -830,20 +831,22 @@ class TruthService:
         partition = outcome.partition
         silhouettes = dict(outcome.silhouette_by_k)
         exact = True
+        # Publish under the lock: the applied log, the watermark and the
+        # visible snapshot advance as one atomic step, so a concurrent
+        # stats() read cannot pair a new watermark with the old version
+        # (or vice versa).
         with self._cond:
             self._applied.extend(claims)
-            watermark = self._watermark_base + len(self._applied)
-            pending = self._pending_claims
-        snapshot = TruthSnapshot(
-            version=previous.version + 1,
-            watermark=watermark,
-            result=result,
-            partition=partition,
-            silhouette_by_k=silhouettes,
-            exact=exact,
-            pending_claims=pending,
-            dataset_fingerprint=self._incremental.dataset.fingerprint,
-            config_fingerprint=self._config.fingerprint(),
-        )
-        self._snapshot = snapshot
+            snapshot = TruthSnapshot(
+                version=previous.version + 1,
+                watermark=self._watermark_base + len(self._applied),
+                result=result,
+                partition=partition,
+                silhouette_by_k=silhouettes,
+                exact=exact,
+                pending_claims=self._pending_claims,
+                dataset_fingerprint=self._incremental.dataset.fingerprint,
+                config_fingerprint=self._config.fingerprint(),
+            )
+            self._snapshot = snapshot
         return snapshot

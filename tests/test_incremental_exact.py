@@ -32,6 +32,7 @@ from repro.data.builder import DatasetBuilder
 from repro.data.claim_engine import ClaimIndexEngine
 from repro.data.index import DatasetIndex
 from repro.datasets import make_synthetic
+from repro.serving import ServiceConfig
 
 CONFIG = TDACConfig(seed=0)
 
@@ -324,7 +325,10 @@ class TestRestoreDeltaReplay:
 
         service = TruthService(
             MajorityVote(), dataset, config=CONFIG,
-            store=store_dir, max_wait_ms=1.0, snapshot_every=100,
+            store=store_dir,
+            service_config=ServiceConfig(
+                max_wait_ms=1.0, snapshot_every=100
+            ),
         )
         service.start()
         for batch in batches:
@@ -348,7 +352,8 @@ class TestRestoreDeltaReplay:
             warnings.simplefilter("error")  # no WAL mismatch warnings
             via_delta = TruthService.restore(tmp_path / "delta", tracer=tracer)
             via_full = TruthService.restore(
-                tmp_path / "full", replay_refit="full"
+                tmp_path / "full",
+                service_config=ServiceConfig(replay_refit="full"),
             )
         try:
             a, b = via_delta.snapshot(), via_full.snapshot()

@@ -16,6 +16,7 @@ from repro.data import Claim, DataError
 from repro.datasets import make_synthetic
 from repro.serving import (
     QueryAnswer,
+    ServiceConfig,
     ServiceOverloadedError,
     ServiceStoppedError,
     run_smoke,
@@ -71,18 +72,28 @@ class TestLifecycle:
 
     def test_invalid_knobs_rejected(self, dataset):
         with pytest.raises(ValueError):
-            TruthService(MajorityVote(), dataset, refit="eventually")
+            TruthService(
+                MajorityVote(), dataset,
+                service_config=ServiceConfig(refit="eventually"),
+            )
         with pytest.raises(ValueError):
-            TruthService(MajorityVote(), dataset, max_batch_size=0)
+            TruthService(
+                MajorityVote(), dataset,
+                service_config=ServiceConfig(max_batch_size=0),
+            )
         with pytest.raises(ValueError):
-            TruthService(MajorityVote(), dataset, queue_capacity=0)
+            TruthService(
+                MajorityVote(), dataset,
+                service_config=ServiceConfig(queue_capacity=0),
+            )
 
 
 class TestBitIdentity:
     def test_snapshot_matches_offline_run(self, dataset):
         config = TDACConfig(seed=2)
         with TruthService(
-            MajorityVote(), dataset, config=config, max_wait_ms=1.0
+            MajorityVote(), dataset, config=config,
+            service_config=ServiceConfig(max_wait_ms=1.0),
         ) as service:
             service.ingest(fresh_claims(dataset, "a", 3), wait=True)
             ticket = service.ingest(fresh_claims(dataset, "b", 2))
@@ -98,7 +109,8 @@ class TestBitIdentity:
 
     def test_query_reflects_applied_claim(self, dataset):
         with TruthService(
-            MajorityVote(), dataset, max_wait_ms=1.0
+            MajorityVote(), dataset,
+            service_config=ServiceConfig(max_wait_ms=1.0),
         ) as service:
             claim = fresh_claims(dataset, "q", 1)[0]
             service.ingest([claim], wait=True)
@@ -155,8 +167,7 @@ class TestConcurrentLoad:
             MajorityVote(),
             dataset,
             config=config,
-            max_batch_size=8,
-            max_wait_ms=5.0,
+            service_config=ServiceConfig(max_batch_size=8, max_wait_ms=5.0),
             tracer=tracer,
         ) as service:
             stop_event = threading.Event()
@@ -226,7 +237,8 @@ class TestConcurrentLoad:
 class TestBackpressure:
     def test_overload_rejects_with_retry_after(self, dataset):
         service = TruthService(
-            MajorityVote(), dataset, queue_capacity=3, max_wait_ms=0.0
+            MajorityVote(), dataset,
+            service_config=ServiceConfig(queue_capacity=3, max_wait_ms=0.0),
         )
         # Fill the admission ledger without a worker draining it.
         with service._cond:
@@ -244,7 +256,8 @@ class TestBackpressure:
     def test_overload_counts_in_tracer(self, dataset):
         tracer = SpanTracer()
         service = TruthService(
-            MajorityVote(), dataset, queue_capacity=1, tracer=tracer
+            MajorityVote(), dataset,
+            service_config=ServiceConfig(queue_capacity=1), tracer=tracer,
         )
         with service._cond:
             service._started = True
@@ -257,7 +270,8 @@ class TestBackpressure:
 class TestRefitModes:
     def test_incremental_mode_publishes_exact_snapshots(self, dataset):
         with TruthService(
-            MajorityVote(), dataset, refit="incremental", max_wait_ms=1.0
+            MajorityVote(), dataset,
+            service_config=ServiceConfig(refit="incremental", max_wait_ms=1.0),
         ) as service:
             claim = fresh_claims(dataset, "inc", 1)[0]
             service.ingest([claim], wait=True, timeout=60)
@@ -287,7 +301,8 @@ class TestRefitModes:
 
     def test_full_mode_counts_refits(self, dataset):
         with TruthService(
-            MajorityVote(), dataset, max_wait_ms=1.0
+            MajorityVote(), dataset,
+            service_config=ServiceConfig(max_wait_ms=1.0),
         ) as service:
             service.ingest(fresh_claims(dataset, "f", 1), wait=True)
             assert service.stats["refits_full"] == 1
@@ -297,7 +312,8 @@ class TestRefitModes:
 class TestFailureIsolation:
     def test_conflicting_batch_fails_ticket_not_service(self, dataset):
         with TruthService(
-            MajorityVote(), dataset, max_wait_ms=1.0
+            MajorityVote(), dataset,
+            service_config=ServiceConfig(max_wait_ms=1.0),
         ) as service:
             before = service.snapshot()
             # Re-assert an existing claim with a different value: the
@@ -340,7 +356,8 @@ class TestSnapshotSerialization:
         from repro.core import RESULT_SCHEMA
 
         with TruthService(
-            MajorityVote(), dataset, max_wait_ms=1.0
+            MajorityVote(), dataset,
+            service_config=ServiceConfig(max_wait_ms=1.0),
         ) as service:
             service.ingest(fresh_claims(dataset, "s", 1), wait=True)
             payload = service.snapshot().to_dict()
@@ -372,7 +389,8 @@ class TestFrontend:
         ]
         out = io.StringIO()
         with TruthService(
-            MajorityVote(), dataset, max_wait_ms=1.0
+            MajorityVote(), dataset,
+            service_config=ServiceConfig(max_wait_ms=1.0),
         ) as service:
             code = serve_jsonl(service, requests, out)
         assert code == 0

@@ -14,6 +14,7 @@ import pytest
 from repro import MajorityVote, TruthService
 from repro.data import Claim
 from repro.datasets import make_synthetic
+from repro.serving import ServiceConfig
 from repro.serving import run_smoke, serve_jsonl
 
 
@@ -24,7 +25,10 @@ def dataset():
 
 @pytest.fixture
 def service(dataset):
-    with TruthService(MajorityVote(), dataset, max_wait_ms=1.0) as svc:
+    with TruthService(
+        MajorityVote(), dataset,
+        service_config=ServiceConfig(max_wait_ms=1.0),
+    ) as svc:
         yield svc
 
 
@@ -91,9 +95,11 @@ class TestOverload:
         service = TruthService(
             MajorityVote(),
             dataset,
-            queue_capacity=2,
-            max_wait_ms=5_000.0,
-            max_batch_size=1_000,
+            service_config=ServiceConfig(
+                queue_capacity=2,
+                max_wait_ms=5_000.0,
+                max_batch_size=1_000,
+            ),
         )
         service.start()
         try:

@@ -23,6 +23,7 @@ from repro import TDAC, MajorityVote, TruthService
 from repro.core import TDACConfig
 from repro.data import Claim
 from repro.datasets import make_synthetic
+from repro.serving import ServiceConfig
 from repro.serving import (
     AsyncTruthClient,
     RetryPolicy,
@@ -58,11 +59,14 @@ async def serving_stack(dataset, service_kwargs=None, server_kwargs=None):
         MajorityVote(),
         dataset,
         config=TDACConfig(seed=0),
-        **service_kwargs,
+        service_config=ServiceConfig(**service_kwargs),
     )
     service.start()
     server = TruthServer(
-        service, drain_timeout=10.0, **(server_kwargs or {})
+        service,
+        service_config=ServiceConfig(
+            max_wait_ms=1.0, drain_timeout=10.0, **(server_kwargs or {})
+        ),
     )
     await server.start()
     try:
@@ -367,11 +371,14 @@ class TestClientReconnect:
     def test_reconnects_after_server_restart(self, dataset):
         async def scenario():
             service = TruthService(
-                MajorityVote(), dataset, max_wait_ms=1.0
+                MajorityVote(), dataset,
+                service_config=ServiceConfig(max_wait_ms=1.0),
             )
             service.start()
             first = TruthServer(
-                service, drain_timeout=5.0, stop_service_on_drain=False
+                service,
+                service_config=ServiceConfig(max_wait_ms=1.0, drain_timeout=5.0),
+                stop_service_on_drain=False,
             )
             host, port = await first.start()
             client = AsyncTruthClient(
@@ -384,7 +391,10 @@ class TestClientReconnect:
             assert (await client.server_stats())["ok"] is True
             await first.drain()  # the server goes away mid-session
             second = TruthServer(
-                service, host=host, port=port, drain_timeout=5.0
+                service, host=host, port=port,
+                service_config=ServiceConfig(
+                    max_wait_ms=1.0, drain_timeout=5.0
+                ),
             )
             await second.start()
             response = await client.server_stats()
@@ -424,11 +434,16 @@ class TestDrain:
                 MajorityVote(),
                 dataset,
                 config=TDACConfig(seed=0),
-                max_wait_ms=1.0,
+                service_config=ServiceConfig(max_wait_ms=1.0),
                 store=str(store_dir),
             )
             service.start()
-            server = TruthServer(service, drain_timeout=10.0)
+            server = TruthServer(
+                service,
+                service_config=ServiceConfig(
+                    max_wait_ms=1.0, drain_timeout=10.0
+                ),
+            )
             await server.start()
             async with AsyncTruthClient(
                 server.host, server.port

@@ -14,6 +14,7 @@ from repro import MajorityVote, TDACConfig, TruthService
 from repro.core import PartitionCache, TDAC
 from repro.data import Claim
 from repro.datasets import make_synthetic
+from repro.serving import ServiceConfig
 from repro.store import (
     ClaimWAL,
     RecordCorruptError,
@@ -189,8 +190,7 @@ def _stopped_service(tmp_path, dataset, claims=0, **kwargs):
         dataset,
         config=TDACConfig(seed=3),
         store=store_dir,
-        max_wait_ms=1.0,
-        **kwargs,
+        service_config=ServiceConfig(max_wait_ms=1.0, **kwargs),
     )
     service.start()
     if claims:
@@ -256,8 +256,7 @@ class TestTruthStore:
             dataset,
             config=TDACConfig(seed=3),
             store=TruthStore(store_dir, segment_max_records=2, sync="never"),
-            snapshot_every=1,
-            max_wait_ms=1.0,
+            service_config=ServiceConfig(snapshot_every=1, max_wait_ms=1.0),
         )
         service.start()
         for j in range(4):
@@ -280,7 +279,7 @@ class TestTruthStore:
             dataset,
             config=TDACConfig(seed=3),
             store=store_dir,
-            max_wait_ms=1.0,
+            service_config=ServiceConfig(max_wait_ms=1.0),
         )
         service.start()
         good = fresh_claims(dataset, "ok", 2)
@@ -315,7 +314,7 @@ class TestTruthStore:
             dataset,
             config=TDACConfig(seed=3),
             store=store_dir,
-            max_wait_ms=1.0,
+            service_config=ServiceConfig(max_wait_ms=1.0),
         )
         service.start()
         service.ingest(fresh_claims(dataset, "t", 3), wait=True)
@@ -336,8 +335,7 @@ class TestStoreObservability:
             dataset,
             config=TDACConfig(seed=3),
             store=tmp_path / "store",
-            snapshot_every=1,
-            max_wait_ms=1.0,
+            service_config=ServiceConfig(snapshot_every=1, max_wait_ms=1.0),
             tracer=tracer,
         )
         service.start()

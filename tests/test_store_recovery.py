@@ -17,6 +17,7 @@ from pathlib import Path
 import pytest
 
 from repro import MajorityVote, SpanTracer, TDAC, TDACConfig, TruthService
+from repro.serving import ServiceConfig
 from repro.core import extend_dataset
 from repro.data import Claim
 from repro.datasets import make_synthetic
@@ -81,7 +82,8 @@ class TestCleanRestore:
         applied = []
         service = TruthService(
             MajorityVote(), dataset, config=CONFIG,
-            store=store_dir, max_wait_ms=1.0,
+            store=store_dir,
+            service_config=ServiceConfig(max_wait_ms=1.0),
         )
         service.start()
         for j in range(3):
@@ -106,7 +108,8 @@ class TestCleanRestore:
         store_dir = tmp_path / "store"
         service = TruthService(
             MajorityVote(), dataset, config=CONFIG,
-            store=store_dir, max_wait_ms=1.0,
+            store=store_dir,
+            service_config=ServiceConfig(max_wait_ms=1.0),
         )
         service.start()
         first = fresh_claims(dataset, "a", 4)
@@ -125,7 +128,9 @@ class TestCleanRestore:
         store_dir = tmp_path / "store"
         service = TruthService(
             MajorityVote(), dataset, config=CONFIG, store=store_dir,
-            snapshot_every=100, max_wait_ms=1.0,
+            service_config=ServiceConfig(
+                snapshot_every=100, max_wait_ms=1.0
+            ),
         )
         service.start()
         service.ingest(fresh_claims(dataset, "a", 3), wait=True)
@@ -143,6 +148,7 @@ class TestCleanRestore:
 CRASH_CHILD = """\
 import os, sys
 from repro import MajorityVote, TDACConfig, TruthService
+from repro.serving import ServiceConfig
 from repro.data import Claim
 from repro.datasets import make_synthetic
 
@@ -158,7 +164,8 @@ def claims(tag, n):
 
 service = TruthService(
     MajorityVote(), dataset, config=TDACConfig(seed=3),
-    store=store_dir, snapshot_every=2, max_wait_ms=1.0,
+    store=store_dir,
+    service_config=ServiceConfig(snapshot_every=2, max_wait_ms=1.0),
 )
 service.start()
 for j in range(3):
@@ -198,7 +205,9 @@ class TestCrashRecovery:
         store_dir = tmp_path / "store"
         service = TruthService(
             MajorityVote(), dataset, config=CONFIG, store=store_dir,
-            snapshot_every=100, max_wait_ms=1.0,
+            service_config=ServiceConfig(
+                snapshot_every=100, max_wait_ms=1.0
+            ),
         )
         service.start()
         for j in range(3):
@@ -223,7 +232,9 @@ class TestCrashRecovery:
         store_dir = tmp_path / "store"
         service = TruthService(
             MajorityVote(), dataset, config=CONFIG, store=store_dir,
-            snapshot_every=100, max_wait_ms=1.0,
+            service_config=ServiceConfig(
+                snapshot_every=100, max_wait_ms=1.0
+            ),
         )
         service.start()
         batches = [fresh_claims(dataset, f"c{j}", 3) for j in range(3)]
@@ -266,7 +277,8 @@ class TestFaultInjectedService:
         applied = []
         service = TruthService(
             MajorityVote(), dataset, config=config,
-            store=store_dir, max_wait_ms=1.0,
+            store=store_dir,
+            service_config=ServiceConfig(max_wait_ms=1.0),
         )
         service.start()
         for j in range(2):
@@ -295,7 +307,8 @@ class TestFaultInjectedService:
         batch = fresh_claims(dataset, "k", 3)
         service = TruthService(
             MajorityVote(), dataset, config=config,
-            store=store_dir, max_wait_ms=1.0,
+            store=store_dir,
+            service_config=ServiceConfig(max_wait_ms=1.0),
         )
         service.start()
         service.ingest(batch, wait=True)

@@ -1,0 +1,291 @@
+"""Tests for :class:`~repro.serving.tenancy.TenantRegistry`.
+
+Multi-tenancy multiplexes named tenants over shared engines keyed by
+(dataset fingerprint, config fingerprint).  The contract: same-key
+tenants share one running :class:`ShardRouter` (their claims interleave
+into one exact merged view), distinct keys get isolated engines and
+durable namespaces, per-tenant quotas bound admission independently,
+and the front-ends dispatch on a request's ``tenant`` field.
+"""
+
+import json
+
+import pytest
+
+from repro import TDAC, MajorityVote, SpanTracer, TDACConfig
+from repro.data import Claim
+from repro.datasets import make_synthetic
+from repro.serving import (
+    ServiceConfig,
+    ServiceOverloadedError,
+    TenantHandle,
+    TenantQuotaError,
+    TenantRegistry,
+    UnknownTenantError,
+    handle_request,
+)
+
+CONFIG = TDACConfig(seed=13)
+FAST = ServiceConfig(max_wait_ms=1.0)
+
+
+@pytest.fixture
+def dataset():
+    return make_synthetic("DS1", n_objects=12, seed=13).dataset
+
+
+@pytest.fixture
+def other_dataset():
+    return make_synthetic("DS2", n_objects=12, seed=14).dataset
+
+
+def fresh_claims(dataset, tag, n):
+    attribute = dataset.attributes[0]
+    return [
+        Claim(dataset.sources[i % len(dataset.sources)],
+              f"obj-{tag}-{i}", attribute, f"v-{tag}-{i}")
+        for i in range(n)
+    ]
+
+
+class TestEngineSharing:
+    def test_same_key_tenants_share_one_engine(self, dataset):
+        with TenantRegistry(service_config=FAST) as registry:
+            alice = registry.register("alice", MajorityVote(), dataset,
+                                      config=CONFIG)
+            bob = registry.register("bob", MajorityVote(), dataset,
+                                    config=CONFIG)
+            assert isinstance(alice, TenantHandle)
+            assert alice.engine is bob.engine
+            assert len(registry.engines) == 1
+            assert registry.tenants == ("alice", "bob")
+
+    def test_distinct_keys_get_distinct_engines(self, dataset,
+                                                other_dataset):
+        with TenantRegistry(service_config=FAST) as registry:
+            alice = registry.register("alice", MajorityVote(), dataset,
+                                      config=CONFIG)
+            # Same corpus, different config → different key.
+            carol = registry.register(
+                "carol", MajorityVote(), dataset,
+                config=TDACConfig(seed=99),
+            )
+            dave = registry.register("dave", MajorityVote(), other_dataset,
+                                     config=CONFIG)
+            assert alice.engine is not carol.engine
+            assert alice.engine is not dave.engine
+            assert len(registry.engines) == 3
+
+    def test_duplicate_tenant_name_rejected(self, dataset):
+        with TenantRegistry(service_config=FAST) as registry:
+            registry.register("alice", MajorityVote(), dataset,
+                              config=CONFIG)
+            with pytest.raises(ValueError, match="already registered"):
+                registry.register("alice", MajorityVote(), dataset,
+                                  config=CONFIG)
+
+    def test_interleaved_tenants_share_one_exact_merged_view(self, dataset):
+        with TenantRegistry(service_config=FAST, n_shards=2) as registry:
+            alice = registry.register("alice", MajorityVote(), dataset,
+                                      config=CONFIG)
+            bob = registry.register("bob", MajorityVote(), dataset,
+                                    config=CONFIG)
+            alice.ingest(fresh_claims(dataset, "a", 2), wait=True)
+            bob.ingest(fresh_claims(dataset, "b", 2), wait=True)
+            alice.ingest(fresh_claims(dataset, "a2", 1), wait=True)
+            merged = alice.snapshot()
+            assert merged.watermark == 5
+            offline = TDAC(MajorityVote(), config=CONFIG).run(
+                alice.replay_dataset(merged.watermark)
+            )
+            assert dict(merged.predictions) == dict(
+                offline.result.predictions
+            )
+            # Both handles see the same engine-level view.
+            assert bob.snapshot().version == merged.version
+
+
+class TestQuotas:
+    def test_quota_breach_raises_and_counts(self, dataset):
+        with TenantRegistry(service_config=FAST) as registry:
+            alice = registry.register("alice", MajorityVote(), dataset,
+                                      config=CONFIG, quota=3)
+            alice.ingest(fresh_claims(dataset, "ok", 2), wait=True)
+            with pytest.raises(TenantQuotaError) as info:
+                alice.ingest(fresh_claims(dataset, "burst", 4))
+            assert info.value.tenant == "alice"
+            # A quota breach is a retryable overload to clients.
+            assert isinstance(info.value, ServiceOverloadedError)
+            assert info.value.retry_after_seconds > 0
+            stats = alice.stats
+            assert stats["quota_rejections"] == 1
+            assert stats["ingested_claims"] == 2
+
+    def test_quota_is_per_tenant_not_per_engine(self, dataset):
+        with TenantRegistry(service_config=FAST) as registry:
+            alice = registry.register("alice", MajorityVote(), dataset,
+                                      config=CONFIG, quota=1)
+            bob = registry.register("bob", MajorityVote(), dataset,
+                                    config=CONFIG)
+            with pytest.raises(TenantQuotaError):
+                alice.ingest(fresh_claims(dataset, "a", 2))
+            # Bob shares the engine but not the quota.
+            bob.ingest(fresh_claims(dataset, "b", 2), wait=True)
+            assert bob.stats["applied_claims"] == 2
+
+    def test_pending_released_after_settle(self, dataset):
+        with TenantRegistry(service_config=FAST) as registry:
+            alice = registry.register("alice", MajorityVote(), dataset,
+                                      config=CONFIG, quota=2)
+            for j in range(3):  # sequential batches never breach
+                alice.ingest(fresh_claims(dataset, f"s{j}", 2), wait=True)
+            assert alice.stats["applied_claims"] == 6
+            assert alice.stats["pending_claims"] == 0
+
+
+class TestResolution:
+    def test_default_and_unknown(self, dataset):
+        with TenantRegistry(service_config=FAST) as registry:
+            with pytest.raises(UnknownTenantError):
+                registry.resolve_tenant(None)
+            alice = registry.register("alice", MajorityVote(), dataset,
+                                      config=CONFIG)
+            assert registry.resolve_tenant(None) is alice
+            assert registry.resolve_tenant("alice") is alice
+            with pytest.raises(UnknownTenantError, match="registered"):
+                registry.resolve_tenant("eve")
+
+    def test_registry_ducks_as_single_service(self, dataset):
+        # The net layer serves a registry directly: untagged traffic
+        # flows to the default tenant.
+        with TenantRegistry(service_config=FAST) as registry:
+            registry.register("alice", MajorityVote(), dataset,
+                              config=CONFIG)
+            claim = fresh_claims(dataset, "d", 1)[0]
+            registry.ingest([claim], wait=True)
+            answer = registry.query(claim.object, claim.attribute)
+            assert answer.found and answer.value == claim.value
+            assert registry.snapshot().watermark == 1
+
+
+class TestFrontendDispatch:
+    def test_tenant_field_routes_and_tags(self, dataset):
+        tracer = SpanTracer()
+        with TenantRegistry(service_config=FAST, tracer=tracer) as registry:
+            registry.register("alice", MajorityVote(), dataset,
+                              config=CONFIG)
+            registry.register("bob", MajorityVote(), dataset,
+                              config=CONFIG)
+            claim = fresh_claims(dataset, "f", 1)[0]
+            response = handle_request(registry, {
+                "op": "ingest",
+                "tenant": "bob",
+                "wait": True,
+                "claims": [{
+                    "source": claim.source, "object": claim.object,
+                    "attribute": claim.attribute, "value": claim.value,
+                }],
+            })
+            assert response["ok"] is True
+            assert response["schema"] == "tdac-serve/v1"
+            assert response["tenant"] == "bob"
+            assert tracer.counters["tenant.bob.ingest.claims"] == 1
+            answer = handle_request(registry, {
+                "op": "query", "tenant": "alice",
+                "object": claim.object, "attribute": claim.attribute,
+            })
+            # Same engine: alice sees bob's claim through the shared view.
+            assert answer["tenant"] == "alice"
+            assert answer["value"] == claim.value
+
+    def test_unknown_tenant_is_an_enveloped_error(self, dataset):
+        with TenantRegistry(service_config=FAST) as registry:
+            registry.register("alice", MajorityVote(), dataset,
+                              config=CONFIG)
+            response = handle_request(
+                registry, {"op": "stats", "tenant": "eve"}
+            )
+            assert response["ok"] is False
+            assert "unknown tenant" in response["error"]
+            assert "alice" in response["error"]
+            assert json.dumps(response)  # wire-serializable
+
+
+class TestDurableNamespaces:
+    def test_per_tenant_wal_namespaces(self, dataset, other_dataset,
+                                       tmp_path):
+        with TenantRegistry(
+            store_root=tmp_path, service_config=FAST
+        ) as registry:
+            alice = registry.register("alice", MajorityVote(), dataset,
+                                      config=CONFIG)
+            registry.register("dave", MajorityVote(), other_dataset,
+                              config=CONFIG)
+            alice.ingest(fresh_claims(dataset, "w", 1), wait=True)
+            assert (tmp_path / "tenants" / "alice").is_dir()
+            assert (tmp_path / "tenants" / "dave").is_dir()
+
+    def test_snapshot_pool_shares_instances_per_engine_slot(
+        self, dataset, tmp_path
+    ):
+        with TenantRegistry(
+            store_root=tmp_path, service_config=FAST
+        ) as registry:
+            alice = registry.register("alice", MajorityVote(), dataset,
+                                      config=CONFIG)
+            key = (dataset.fingerprint, CONFIG.fingerprint())
+            factory = registry._snapshot_factory(key, "alice")
+            assert factory(0, 0) is factory(0, 0)  # memoized instance
+            assert factory(0, 0) is not factory(0, 1)  # per-shard dirs
+            # The engine's checkpoints land inside the owner namespace.
+            assert (
+                tmp_path / "tenants" / "alice" / "snapshots"
+            ).is_dir()
+            alice.ingest(fresh_claims(dataset, "s", 1), wait=True)
+
+    def test_crash_restore_inside_registry(self, dataset, tmp_path):
+        with TenantRegistry(
+            store_root=tmp_path, service_config=FAST, n_shards=2
+        ) as registry:
+            alice = registry.register("alice", MajorityVote(), dataset,
+                                      config=CONFIG)
+            batch = fresh_claims(dataset, "c", 2)
+            alice.ingest(batch, wait=True)
+            engine = alice.engine
+            victim = engine.shard_of(batch[0].attribute)
+            engine.crash_shard(victim)
+            engine.restore_shard(victim)
+            post = fresh_claims(dataset, "post", 1)
+            alice.ingest(post, wait=True)
+            merged = alice.snapshot()
+            assert merged.watermark == 3
+            offline = TDAC(MajorityVote(), config=CONFIG).run(
+                alice.replay_dataset(merged.watermark)
+            )
+            assert dict(merged.predictions) == dict(
+                offline.result.predictions
+            )
+
+
+class TestLifecycle:
+    def test_stop_is_idempotent_and_final(self, dataset):
+        registry = TenantRegistry(service_config=FAST)
+        registry.register("alice", MajorityVote(), dataset, config=CONFIG)
+        registry.stop()
+        registry.stop()  # idempotent
+        with pytest.raises(Exception):
+            registry.register("bob", MajorityVote(), dataset,
+                              config=CONFIG)
+
+    def test_registry_stats_aggregate(self, dataset):
+        with TenantRegistry(service_config=FAST) as registry:
+            alice = registry.register("alice", MajorityVote(), dataset,
+                                      config=CONFIG)
+            registry.register("bob", MajorityVote(), dataset,
+                              config=CONFIG)
+            alice.ingest(fresh_claims(dataset, "s", 2), wait=True)
+            stats = registry.stats
+            assert set(stats["tenants"]) == {"alice", "bob"}
+            assert stats["tenants"]["alice"]["ingested_claims"] == 2
+            assert stats["n_tenants"] == 2
+            assert stats["n_engines"] == 1
