@@ -1,9 +1,9 @@
-.PHONY: install lint test test-fast test-faults test-serving test-sharding test-incremental test-store test-net bench bench-smoke bench-base bench-serving-smoke bench-sharding-smoke bench-incremental-smoke report examples clean
+.PHONY: install lint test test-fast test-faults test-serving test-sharding test-incremental test-store test-net test-scenarios bench bench-smoke bench-base bench-serving-smoke bench-sharding-smoke bench-incremental-smoke bench-scenarios-smoke report examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test: lint bench-smoke bench-base test-faults test-serving test-sharding test-incremental test-store test-net bench-serving-smoke bench-sharding-smoke bench-incremental-smoke
+test: lint bench-smoke bench-base test-faults test-serving test-sharding test-incremental test-store test-net test-scenarios bench-serving-smoke bench-sharding-smoke bench-incremental-smoke bench-scenarios-smoke
 	pytest tests/
 
 # Static checks: ruff when the container ships it, plus a bytecode
@@ -53,6 +53,14 @@ test-store:
 # graceful drain bit-identity, and the stdin front-end's error paths.
 test-net:
 	PYTHONPATH=src python -m pytest tests/test_serving_net.py tests/test_serving_frontend.py -q
+
+# Typed-model + adversarial-scenario suites: per-attribute type routing
+# and continuous estimators, the severity-0 identity contract of every
+# scenario generator, the degradation sweep/leaderboard, and the mixed
+# end-to-end pipelines (offline, delta path, WAL restore) pinned
+# bit-identical to the offline reference.
+test-scenarios:
+	PYTHONPATH=src python -m pytest tests/test_typed_model.py tests/test_scenarios.py tests/test_mixed_pipeline.py -q
 
 test-fast:
 	pytest tests/ -m "not slow"
@@ -112,6 +120,17 @@ bench-incremental-smoke:
 	    --output benchmarks/output/BENCH_incremental_smoke.json
 	test -s benchmarks/output/BENCH_incremental_smoke.json
 
+# Small-grid run of the degradation-leaderboard harness.  The harness
+# asserts severity-0 metric parity (every scenario curve starts exactly
+# at the clean-corpus numbers) before reporting, so the scenario axis is
+# gated for correctness in the ordinary test flow.
+bench-scenarios-smoke:
+	mkdir -p benchmarks/output
+	PYTHONPATH=src python benchmarks/bench_scenarios.py \
+	    --config smoke \
+	    --output benchmarks/output/BENCH_scenarios_smoke.json
+	test -s benchmarks/output/BENCH_scenarios_smoke.json
+
 report:
 	python -c "from repro.evaluation.report import write_report; \
 	           print(write_report('benchmarks/output', 'EXPERIMENTS_MEASURED.md'))"
@@ -124,5 +143,6 @@ clean:
 	    benchmarks/output/BENCH_base_algorithms_smoke.json \
 	    benchmarks/output/BENCH_serving_smoke.json \
 	    benchmarks/output/BENCH_incremental_smoke.json \
+	    benchmarks/output/BENCH_scenarios_smoke.json \
 	    .pytest_cache .benchmarks
 	find . -name __pycache__ -type d -exec rm -rf {} +

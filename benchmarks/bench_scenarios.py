@@ -1,0 +1,205 @@
+"""Degradation-leaderboard harness for the adversarial scenario sweeps.
+
+Runs the full (scenario x severity) grid of :mod:`repro.scenarios` over
+a clean corpus for TD-AC plus unpartitioned baselines, and — before
+reporting anything — asserts the severity-0 parity contract: every
+generator is an identity at severity 0, so each curve's first point must
+equal a direct clean-corpus run of the same algorithm *exactly*
+(bit-identical accuracy / F1 / fact accuracy).  The numbers are only
+meaningful if the adversarial axis starts from the clean baseline.
+
+The emitted JSON records every per-cell metric row with its fingerprinted
+scenario config, the per-scenario robustness leaderboard (clean
+accuracy, worst-case accuracy, drop), and any capability skips.  ``ok``
+is false unless every parity assertion held.
+
+Entry points: standalone (``make bench-scenarios-smoke`` runs
+``--config smoke``; ``--config full`` produced the committed
+BENCH_scenarios.json) and pytest (collected with the bench suite, runs
+the smoke config).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.core import TDACConfig
+from repro.datasets import load
+from repro.evaluation import run_algorithm
+from repro.evaluation.tables import format_table
+from repro.scenarios import (
+    LEADERBOARD_HEADER,
+    degradation_leaderboard,
+    degradation_sweep,
+    resolve_algorithm,
+)
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_scenarios.json"
+ARTIFACT_DIR = Path(__file__).resolve().parent / "output"
+
+CONFIGS = {
+    # CI-sized: a couple of seconds, used by `make bench-scenarios-smoke`.
+    "smoke": {
+        "datasets": ["DS1"],
+        "scale": 0.02,
+        "severities": [0.0, 0.5, 1.0],
+        "algorithms": ["TDAC+MajorityVote", "MajorityVote", "CRH"],
+        "seed": 0,
+    },
+    # The committed BENCH_scenarios.json: the paper-style roster on the
+    # categorical corpus plus the typed corpus through the router.
+    "full": {
+        "datasets": ["DS1", "Mixed"],
+        "scale": 0.1,
+        "severities": [0.0, 0.25, 0.5, 0.75, 1.0],
+        "algorithms": [
+            "TDAC+MajorityVote",
+            "MajorityVote",
+            "TruthFinder",
+            "CRH",
+            "TDAC+Routed",
+            "Routed",
+        ],
+        "seed": 0,
+    },
+}
+
+
+def assert_severity_zero_parity(dataset, sweep, config):
+    """Each severity-0 record must equal a clean run, bit for bit."""
+    failures = []
+    clean = {}
+    for record in sweep.records:
+        if record.severity != 0.0:
+            continue
+        if record.algorithm not in clean:
+            algorithm = resolve_algorithm(record.algorithm, config)
+            clean[record.algorithm] = run_algorithm(algorithm, dataset)
+        reference = clean[record.algorithm]
+        for metric in ("accuracy", "f1", "fact_accuracy"):
+            got = getattr(record, metric)
+            want = getattr(reference, metric)
+            if got != want:
+                failures.append(
+                    f"{dataset.name}/{record.scenario}/{record.algorithm}: "
+                    f"severity-0 {metric} {got!r} != clean {want!r}"
+                )
+    return failures
+
+
+def run_bench(config_name: str, overrides: dict | None = None) -> dict:
+    cfg = dict(CONFIGS[config_name])
+    cfg.update(overrides or {})
+    tdac_config = TDACConfig(seed=cfg["seed"])
+    failures = []
+    sweeps = []
+    for name in cfg["datasets"]:
+        dataset = load(name, seed=cfg["seed"], scale=cfg["scale"])
+        sweep = degradation_sweep(
+            dataset,
+            severities=tuple(cfg["severities"]),
+            algorithms=tuple(cfg["algorithms"]),
+            seed=cfg["seed"],
+            config=tdac_config,
+        )
+        failures.extend(
+            assert_severity_zero_parity(dataset, sweep, tdac_config)
+        )
+        sweeps.append(
+            {
+                "dataset": sweep.dataset,
+                "records": [asdict(r) for r in sweep.records],
+                "skipped": [asdict(s) for s in sweep.skipped],
+                "configs": [
+                    dict(asdict(c), fingerprint=c.fingerprint)
+                    for c in sweep.configs
+                ],
+                "leaderboard": [
+                    asdict(row) for row in degradation_leaderboard(sweep)
+                ],
+            }
+        )
+    return {
+        "bench": "scenarios",
+        "config": config_name,
+        "parameters": cfg,
+        "sweeps": sweeps,
+        "severity_zero_parity": not failures,
+        "ok": not failures,
+        "failures": failures,
+    }
+
+
+def leaderboard_text(sweep: dict) -> str:
+    """Render one sweep as a report artefact: leaderboard + provenance."""
+    rows = [
+        (
+            row["rank"],
+            row["scenario"],
+            row["algorithm"],
+            f"{row['clean_accuracy']:.3f}",
+            f"{row['worst_accuracy']:.3f}",
+            f"{row['drop']:.3f}",
+            f"{row['clean_f1']:.3f}",
+            f"{row['worst_f1']:.3f}",
+        )
+        for row in sweep["leaderboard"]
+    ]
+    title = (
+        f"Degradation leaderboard ({sweep['dataset']}): robustness rank "
+        "per scenario, smallest accuracy drop first"
+    )
+    lines = [format_table(LEADERBOARD_HEADER, rows, title=title)]
+    for skip in sweep["skipped"]:
+        lines.append(f"skipped {skip['algorithm']}: {skip['reason']}")
+    lines.append("Scenario cell fingerprints (sha256 of seeded config):")
+    for cell in sweep["configs"]:
+        lines.append(
+            f"  {cell['scenario']} severity={cell['severity']} "
+            f"seed={cell['seed']}: {cell['fingerprint']}"
+        )
+    return "\n".join(lines)
+
+
+def write_artifacts(record: dict, artifact_dir: Path) -> None:
+    artifact_dir.mkdir(parents=True, exist_ok=True)
+    for sweep in record["sweeps"]:
+        name = f"scenarios_{sweep['dataset'].lower()}.txt"
+        (artifact_dir / name).write_text(leaderboard_text(sweep) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--config", choices=sorted(CONFIGS), default="smoke")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--artifact-dir", type=Path, default=None)
+    args = parser.parse_args(argv)
+    record = run_bench(args.config)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    if args.artifact_dir is not None:
+        write_artifacts(record, args.artifact_dir)
+    print(json.dumps(record, indent=2, sort_keys=True))
+    if not record["ok"]:
+        print("FAILED: " + "; ".join(record["failures"]), file=sys.stderr)
+        return 1
+    return 0
+
+
+def test_scenarios_bench_smoke(artifact_dir, benchmark):
+    """Pytest entry: severity-0 parity must hold before reporting."""
+    from conftest import run_once
+
+    record = run_once(benchmark, run_bench, "smoke")
+    (artifact_dir / "BENCH_scenarios_smoke.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n"
+    )
+    assert record["ok"], record["failures"]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,11 @@ depends on, from scratch:
 * :mod:`repro.baselines` — the brute-force AccuGenPartition baseline;
 * :mod:`repro.datasets` — generators for every evaluation dataset;
 * :mod:`repro.metrics` / :mod:`repro.evaluation` — the paper's metrics
-  and table harness;
+  and table harness, plus set-based and tolerance scoring for typed
+  corpora;
+* :mod:`repro.scenarios` — seeded adversarial workload generators
+  (copying cliques, reliability drift, late arrival) and the
+  degradation sweep/leaderboard;
 * :mod:`repro.observability` — span tracing and structured run reports
   for every pipeline stage;
 * :mod:`repro.serving` — the long-lived :class:`TruthService`:
@@ -53,6 +57,7 @@ from repro import (
     evaluation,
     metrics,
     observability,
+    scenarios,
     serving,
     store,
 )
@@ -63,6 +68,9 @@ from repro.algorithms import (
     SimpleLCA,
     AccuSim,
     AverageLog,
+    ContinuousCATD,
+    ContinuousCRH,
+    ContinuousMedian,
     Depen,
     Investment,
     MajorityVote,
@@ -73,6 +81,7 @@ from repro.algorithms import (
     TruthDiscoveryResult,
     TruthFinder,
     TwoEstimates,
+    TypeRouted,
 )
 from repro.baselines import AccuGenPartition
 from repro.core import (
@@ -85,8 +94,22 @@ from repro.core import (
     TDACResult,
     build_truth_vectors,
 )
-from repro.data import Claim, Dataset, DatasetBuilder, Fact
+from repro.data import (
+    CATEGORICAL,
+    CONTINUOUS,
+    MULTI,
+    Claim,
+    Dataset,
+    DatasetBuilder,
+    Fact,
+)
 from repro.execution import ExecutionPolicy
+from repro.scenarios import (
+    ScenarioConfig,
+    apply_scenario,
+    degradation_leaderboard,
+    degradation_sweep,
+)
 from repro.observability import SpanTracer
 from repro.serving import (
     AsyncTruthClient,
@@ -103,7 +126,7 @@ from repro.serving import (
 )
 from repro.store import TruthStore
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 #: The stable public surface: every name here imports from ``repro``
 #: directly and is covered by the API-stability tests.  Additions are
@@ -116,8 +139,13 @@ __all__ = [
     "AsyncTruthClient",
     "AverageLog",
     "CATD",
+    "CATEGORICAL",
+    "CONTINUOUS",
     "CRH",
     "Claim",
+    "ContinuousCATD",
+    "ContinuousCRH",
+    "ContinuousMedian",
     "Dataset",
     "DatasetBuilder",
     "Depen",
@@ -125,6 +153,7 @@ __all__ = [
     "Fact",
     "IncrementalTDAC",
     "Investment",
+    "MULTI",
     "MajorityVote",
     "MergedSnapshot",
     "Partition",
@@ -132,6 +161,7 @@ __all__ = [
     "PooledInvestment",
     "RESULT_SCHEMA",
     "SERVE_SCHEMA",
+    "ScenarioConfig",
     "ServeEnvelope",
     "ServiceConfig",
     "ShardRouter",
@@ -151,17 +181,22 @@ __all__ = [
     "TruthSnapshot",
     "TruthStore",
     "TwoEstimates",
+    "TypeRouted",
     "__version__",
     "algorithms",
+    "apply_scenario",
     "baselines",
     "build_truth_vectors",
     "clustering",
     "core",
     "data",
     "datasets",
+    "degradation_leaderboard",
+    "degradation_sweep",
     "evaluation",
     "metrics",
     "observability",
+    "scenarios",
     "serve_envelope_from_dict",
     "serving",
     "store",

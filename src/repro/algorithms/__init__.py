@@ -11,6 +11,11 @@ serve as the base algorithm ``F`` of TD-AC.
 from repro.algorithms import kernels
 from repro.algorithms.accu import Accu, AccuSim, CopyDetector, Depen
 from repro.algorithms.catd import CATD
+from repro.algorithms.continuous import (
+    ContinuousCATD,
+    ContinuousCRH,
+    ContinuousMedian,
+)
 from repro.algorithms.crh import CRH
 from repro.algorithms.base import (
     EngineState,
@@ -22,7 +27,13 @@ from repro.algorithms.estimates import ThreeEstimates, TwoEstimates
 from repro.algorithms.investment import Investment, PooledInvestment
 from repro.algorithms.lca import SimpleLCA
 from repro.algorithms.majority import MajorityVote
-from repro.algorithms.registry import available, create, register
+from repro.algorithms.registry import (
+    available,
+    capability_gap,
+    create,
+    register,
+)
+from repro.algorithms.routing import TypeRouted
 from repro.algorithms.similarity import (
     SlotSimilarity,
     levenshtein_distance,
@@ -40,6 +51,9 @@ __all__ = [
     "AverageLog",
     "CATD",
     "CRH",
+    "ContinuousCATD",
+    "ContinuousCRH",
+    "ContinuousMedian",
     "ConvergenceCriterion",
     "CopyDetector",
     "Depen",
@@ -55,7 +69,9 @@ __all__ = [
     "TruthDiscoveryResult",
     "TruthFinder",
     "TwoEstimates",
+    "TypeRouted",
     "available",
+    "capability_gap",
     "create",
     "kernels",
     "levenshtein_distance",

@@ -100,6 +100,17 @@ class TruthDiscoveryAlgorithm(ABC):
     #: Display name; subclasses override.
     name: str = "abstract"
 
+    #: Value families (:data:`repro.data.types.ATTRIBUTE_TYPES`) this
+    #: algorithm can resolve.  The slot machinery votes among claimed
+    #: values by equality, which is sound for categorical truths and for
+    #: multi-valued truths represented as whole tuples (full-set voting),
+    #: but not for continuous data, where the right estimate is an
+    #: aggregate no source may have claimed.  Continuous estimators
+    #: declare ``{"continuous"}``; routers declare all three.  The
+    #: runner and leaderboard check this against the dataset's attribute
+    #: types and skip-with-reason instead of producing garbage.
+    value_types: frozenset = frozenset({"categorical", "multi"})
+
     #: Whether :meth:`discover` accepts a pre-compiled
     #: :class:`DatasetIndex` (all index-solving algorithms do).  Meta
     #: algorithms that override :meth:`discover` to run a full pipeline

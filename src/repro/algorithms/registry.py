@@ -13,6 +13,11 @@ from typing import Callable
 from repro.algorithms.accu import Accu, AccuSim, Depen
 from repro.algorithms.base import TruthDiscoveryAlgorithm
 from repro.algorithms.catd import CATD
+from repro.algorithms.continuous import (
+    ContinuousCATD,
+    ContinuousCRH,
+    ContinuousMedian,
+)
 from repro.algorithms.crh import CRH
 from repro.algorithms.estimates import ThreeEstimates, TwoEstimates
 from repro.algorithms.investment import Investment, PooledInvestment
@@ -20,6 +25,8 @@ from repro.algorithms.lca import SimpleLCA
 from repro.algorithms.majority import MajorityVote
 from repro.algorithms.sums import AverageLog, Sums
 from repro.algorithms.truthfinder import TruthFinder
+from repro.data.dataset import Dataset
+from repro.data.types import ATTRIBUTE_TYPES
 
 AlgorithmFactory = Callable[..., TruthDiscoveryAlgorithm]
 
@@ -49,6 +56,33 @@ def available() -> tuple[str, ...]:
     return tuple(sorted({factory().name for factory in _REGISTRY.values()}))
 
 
+def capability_gap(
+    algorithm: TruthDiscoveryAlgorithm, dataset: Dataset
+) -> str | None:
+    """Why ``algorithm`` cannot run on ``dataset``, or None if it can.
+
+    Compares the dataset's attribute-type families (restricted to
+    attributes that actually carry claims) against the algorithm's
+    declared :attr:`~TruthDiscoveryAlgorithm.value_types`.  Runners and
+    leaderboards call this to *skip with a reason* instead of crashing
+    (continuous estimator fed strings) or silently producing garbage
+    (slot voter fed sensor readings).
+    """
+    claimed = {a for (_, _, a) in dataset.claims}
+    present = {
+        kind
+        for kind in ATTRIBUTE_TYPES
+        if any(a in claimed for a in dataset.attributes_of_type(kind))
+    }
+    missing = present - set(algorithm.value_types)
+    if missing:
+        return (
+            f"{algorithm.name} does not support "
+            f"{'/'.join(sorted(missing))} attributes"
+        )
+    return None
+
+
 for _factory in (
     MajorityVote,
     TruthFinder,
@@ -64,5 +98,8 @@ for _factory in (
     CRH,
     CATD,
     SimpleLCA,
+    ContinuousCRH,
+    ContinuousCATD,
+    ContinuousMedian,
 ):
     register(_factory().name, _factory)

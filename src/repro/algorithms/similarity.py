@@ -146,6 +146,7 @@ class SlotSimilarity:
         self._index = index
         self._matrix = lru_cache(maxsize=None)(self._compute_matrix)
         self._active: list[tuple[int, int, np.ndarray]] | None = None
+        self._groups: list[tuple[np.ndarray, np.ndarray]] | None = None
 
     @classmethod
     def shared(cls, index: DatasetIndex) -> "SlotSimilarity":
@@ -188,10 +189,14 @@ class SlotSimilarity:
         score(v')`` — TruthFinder's implication adjustment and AccuSim's
         similarity-augmented vote count share this exact form.
 
-        The default path iterates a precomputed list of the facts whose
-        similarity matrix has at least one nonzero entry (facts with
-        all-dissimilar values leave their scores untouched, so skipping
-        them is exact); the original every-fact loop remains available
+        The default path batches the facts whose similarity matrix has at
+        least one nonzero entry (facts with all-dissimilar values leave
+        their scores untouched, so skipping them is exact) by slot count
+        and applies each size group as one ``(b, n, n) @ (b, n, 1)``
+        batched matmul — bit-identical to the per-fact products, since
+        batched ``np.matmul`` computes each matrix-vector product exactly
+        as the standalone ``m @ v`` does (including the float64 upcast of
+        float32 scores).  The original every-fact loop remains available
         as the reference kernel.
         """
         starts = self._index.fact_slot_start
@@ -210,9 +215,13 @@ class SlotSimilarity:
         # reference kernel's float64 working dtype.
         work = np.float32 if slot_score.dtype == np.float32 else np.float64
         adjusted = slot_score.astype(work, copy=True)
-        for start, stop, matrix in self._active_facts():
-            block = slot_score[start:stop]
-            adjusted[start:stop] = block + weight * matrix @ block
+        for gather, matrices in self._active_groups():
+            blocks = slot_score[gather]
+            # (weight * M) @ b, not weight * (M @ b): the reference
+            # kernel scales the matrix first, and bit-identity demands
+            # the same floating-point association.
+            support = np.matmul(weight * matrices, blocks[..., None])[..., 0]
+            adjusted[gather] = blocks + support
         return adjusted
 
     def _active_facts(self) -> list[tuple[int, int, np.ndarray]]:
@@ -229,3 +238,24 @@ class SlotSimilarity:
                     active.append((start, stop, matrix))
             self._active = active
         return self._active
+
+    def _active_groups(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Active facts packed by slot count: (gather, stacked matrices).
+
+        ``gather`` is the ``(b, n)`` slot-id array of a size group's
+        facts; ``matrices`` stacks their similarity matrices into
+        ``(b, n, n)``.  Facts are disjoint slot ranges, so scattering
+        through ``gather`` never collides.
+        """
+        if self._groups is None:
+            by_size: dict[int, list[tuple[int, np.ndarray]]] = {}
+            for start, stop, matrix in self._active_facts():
+                by_size.setdefault(stop - start, []).append((start, matrix))
+            packed = []
+            for size, items in sorted(by_size.items()):
+                group_starts = np.array([s for s, _ in items], dtype=np.intp)
+                gather = group_starts[:, None] + np.arange(size, dtype=np.intp)
+                matrices = np.stack([m for _, m in items])
+                packed.append((gather, matrices))
+            self._groups = packed
+        return self._groups

@@ -341,6 +341,44 @@ def _build_parser() -> argparse.ArgumentParser:
         help="base algorithm override (defaults to the checkpoint's)",
     )
 
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="adversarial workload generators and degradation sweeps",
+    )
+    scenarios_sub = scenarios.add_subparsers(
+        dest="scenarios_command", required=True
+    )
+    scenario_sweep = scenarios_sub.add_parser(
+        "sweep",
+        parents=[execution],
+        help="accuracy/F1-vs-severity curves plus a robustness leaderboard",
+    )
+    scenario_sweep.add_argument(
+        "dataset", nargs="?", default="DS1", help="clean corpus to degrade"
+    )
+    scenario_sweep.add_argument("--scale", type=float, default=0.05)
+    scenario_sweep.add_argument("--seed", type=int, default=0)
+    scenario_sweep.add_argument(
+        "--scenarios",
+        default="copying,drift,reorder",
+        help="comma-separated scenario names",
+    )
+    scenario_sweep.add_argument(
+        "--severities",
+        default="0,0.25,0.5,0.75,1",
+        help="comma-separated severity grid (0 reproduces the clean run)",
+    )
+    scenario_sweep.add_argument(
+        "--algorithms",
+        default="TDAC+MajorityVote,MajorityVote,TruthFinder,CRH",
+        help="roster: registry names, TDAC+<base>, Routed[<categorical>]",
+    )
+    scenario_sweep.add_argument(
+        "--json",
+        action="store_true",
+        help="emit records, skips and fingerprinted cell configs as JSON",
+    )
+
     sub.add_parser("datasets", help="list available datasets")
     sub.add_parser("algorithms", help="list available algorithms")
 
@@ -629,6 +667,61 @@ def main(argv: Sequence[str] | None = None) -> int:
                     sort_keys=True,
                 )
             )
+    elif args.command == "scenarios":
+        from dataclasses import asdict
+
+        from repro.scenarios import (
+            LEADERBOARD_HEADER,
+            degradation_leaderboard,
+            degradation_sweep,
+        )
+
+        dataset = load(args.dataset, seed=args.seed, scale=args.scale)
+        sweep_result = degradation_sweep(
+            dataset,
+            scenarios=tuple(s for s in args.scenarios.split(",") if s),
+            severities=tuple(
+                float(v) for v in args.severities.split(",") if v
+            ),
+            algorithms=tuple(a for a in args.algorithms.split(",") if a),
+            seed=args.seed,
+            config=_config_from_args(args),
+        )
+        if args.json:
+            import json
+
+            payload = {
+                "schema": "tdac-degradation/v1",
+                "dataset": sweep_result.dataset,
+                "records": [asdict(r) for r in sweep_result.records],
+                "skipped": [asdict(s) for s in sweep_result.skipped],
+                "configs": [
+                    dict(asdict(c), fingerprint=c.fingerprint)
+                    for c in sweep_result.configs
+                ],
+                "leaderboard": [
+                    asdict(row)
+                    for row in degradation_leaderboard(sweep_result)
+                ],
+            }
+            print(json.dumps(payload, sort_keys=True))
+            return 0
+        print(
+            format_table(
+                ("Scenario", "Severity", "Algorithm", "A", "F1", "FactA"),
+                [r.as_row() for r in sweep_result.records],
+                title=f"Degradation sweep: {dataset.name}",
+            )
+        )
+        print(
+            format_table(
+                LEADERBOARD_HEADER,
+                [row.as_row() for row in degradation_leaderboard(sweep_result)],
+                title="Degradation leaderboard (smallest drop first)",
+            )
+        )
+        for skip in sweep_result.skipped:
+            print(f"skipped {skip.algorithm}: {skip.reason}")
     elif args.command == "report":
         from repro.evaluation.report import write_report
 

@@ -38,6 +38,10 @@ from repro.data.normalize import (
 from repro.data.sampling import sample_objects, sample_sources, thin_coverage
 from repro.data.stats import DatasetStats, data_coverage_rate, dataset_stats
 from repro.data.types import (
+    ATTRIBUTE_TYPES,
+    CATEGORICAL,
+    CONTINUOUS,
+    MULTI,
     AttributeId,
     Claim,
     DataError,
@@ -46,10 +50,15 @@ from repro.data.types import (
     ObjectId,
     SourceId,
     Value,
+    validate_attribute_type,
 )
 from repro.data.validation import Finding, check_dataset, validate_dataset
 
 __all__ = [
+    "ATTRIBUTE_TYPES",
+    "CATEGORICAL",
+    "CONTINUOUS",
+    "MULTI",
     "AttributeId",
     "Claim",
     "ClaimIndexEngine",
@@ -83,5 +92,6 @@ __all__ = [
     "save_json",
     "save_truth_csv",
     "thin_coverage",
+    "validate_attribute_type",
     "validate_dataset",
 ]

@@ -18,6 +18,7 @@ from repro.data.types import (
     ObjectId,
     SourceId,
     Value,
+    validate_attribute_type,
 )
 
 
@@ -41,6 +42,7 @@ class DatasetBuilder:
         self._attributes: dict[AttributeId, None] = {}
         self._claims: dict[tuple[SourceId, ObjectId, AttributeId], Value] = {}
         self._truth: dict[tuple[ObjectId, AttributeId], Value] = {}
+        self._attribute_types: dict[AttributeId, str] = {}
 
     # ------------------------------------------------------------------
     # Universe declaration (optional; fixes ordering)
@@ -64,6 +66,23 @@ class DatasetBuilder:
         """Pre-declare attributes to fix their order in the built dataset."""
         for a in attributes:
             self._attributes.setdefault(a)
+        return self
+
+    def set_attribute_type(
+        self, attribute: AttributeId, kind: str
+    ) -> "DatasetBuilder":
+        """Tag ``attribute`` with a value family (categorical by default)."""
+        validate_attribute_type(kind)
+        self._attributes.setdefault(attribute)
+        self._attribute_types[attribute] = kind
+        return self
+
+    def declare_attribute_types(
+        self, types: Mapping[AttributeId, str]
+    ) -> "DatasetBuilder":
+        """Bulk :meth:`set_attribute_type`."""
+        for a, kind in types.items():
+            self.set_attribute_type(a, kind)
         return self
 
     # ------------------------------------------------------------------
@@ -139,4 +158,5 @@ class DatasetBuilder:
             self._claims,
             self._truth,
             name=self._name,
+            attribute_types=self._attribute_types,
         )

@@ -18,6 +18,7 @@ from types import MappingProxyType
 from typing import Iterable, Iterator, Mapping
 
 from repro.data.types import (
+    CATEGORICAL,
     AttributeId,
     Claim,
     DataError,
@@ -25,6 +26,7 @@ from repro.data.types import (
     ObjectId,
     SourceId,
     Value,
+    validate_attribute_type,
 )
 
 
@@ -50,6 +52,12 @@ class Dataset:
         used for evaluation only.  May be partial.
     name:
         Optional human-readable dataset name used in reports.
+    attribute_types:
+        Optional mapping from attribute to one of
+        :data:`repro.data.types.ATTRIBUTE_TYPES`.  Attributes absent from
+        the mapping are ``"categorical"``; only non-default entries are
+        stored (and hashed), so an all-categorical dataset keeps the
+        fingerprint it had before type tags existed.
     """
 
     def __init__(
@@ -60,6 +68,7 @@ class Dataset:
         claims: Mapping[tuple[SourceId, ObjectId, AttributeId], Value],
         truth: Mapping[tuple[ObjectId, AttributeId], Value] | None = None,
         name: str = "dataset",
+        attribute_types: Mapping[AttributeId, str] | None = None,
     ) -> None:
         self._sources = tuple(sources)
         self._objects = tuple(objects)
@@ -86,6 +95,13 @@ class Dataset:
                     f"ground truth references unknown fact ({o!r}, {a!r})"
                 )
         self._truth = truth
+        types: dict[AttributeId, str] = {}
+        for a, kind in (attribute_types or {}).items():
+            if a not in attribute_set:
+                raise DataError(f"attribute type for unknown attribute {a!r}")
+            if validate_attribute_type(kind) != CATEGORICAL:
+                types[a] = kind
+        self._attribute_types = types
 
     # ------------------------------------------------------------------
     # Identity and size
@@ -119,6 +135,36 @@ class Dataset:
     def __len__(self) -> int:
         return len(self._claims)
 
+    # ------------------------------------------------------------------
+    # Attribute types
+    # ------------------------------------------------------------------
+
+    def attribute_type(self, attribute: AttributeId) -> str:
+        """Value family of ``attribute`` (``"categorical"`` by default)."""
+        return self._attribute_types.get(attribute, CATEGORICAL)
+
+    @property
+    def attribute_types(self) -> Mapping[AttributeId, str]:
+        """Type of every attribute, defaults included."""
+        return {
+            a: self._attribute_types.get(a, CATEGORICAL)
+            for a in self._attributes
+        }
+
+    @property
+    def has_typed_attributes(self) -> bool:
+        """Whether any attribute is non-categorical."""
+        return bool(self._attribute_types)
+
+    def attributes_of_type(self, kind: str) -> tuple[AttributeId, ...]:
+        """Attributes whose value family is ``kind``, in attribute order."""
+        validate_attribute_type(kind)
+        return tuple(
+            a
+            for a in self._attributes
+            if self._attribute_types.get(a, CATEGORICAL) == kind
+        )
+
     @cached_property
     def fingerprint(self) -> str:
         """Stable content digest of the dataset's discovery-relevant state.
@@ -137,6 +183,13 @@ class Dataset:
         for key in sorted(self._claims, key=repr):
             hasher.update(repr((key, self._claims[key])).encode("utf-8"))
             hasher.update(b"\x1f")
+        if self._attribute_types:
+            # Hashed only when some attribute is non-categorical, so every
+            # dataset that predates type tags keeps its fingerprint.
+            hasher.update(b"\x1dtypes")
+            hasher.update(
+                repr(sorted(self._attribute_types.items())).encode("utf-8")
+            )
         return hasher.hexdigest()
 
     def __repr__(self) -> str:
@@ -266,6 +319,9 @@ class Dataset:
             claims,
             truth,
             name=f"{self._name}|{len(ordered)}attrs",
+            attribute_types={
+                a: t for a, t in self._attribute_types.items() if a in keep
+            },
         )
 
     def extended(self, claims: Iterable[Claim]) -> "Dataset":
@@ -317,6 +373,7 @@ class Dataset:
         extended._name = self._name
         extended._claims = merged
         extended._truth = dict(self._truth)
+        extended._attribute_types = dict(self._attribute_types)
         return extended
 
     def restrict_sources(self, sources: Iterable[SourceId]) -> "Dataset":
@@ -336,6 +393,7 @@ class Dataset:
             claims,
             self._truth,
             name=f"{self._name}|{len(ordered)}sources",
+            attribute_types=self._attribute_types,
         )
 
     def with_truth(
@@ -349,6 +407,7 @@ class Dataset:
             self._claims,
             truth,
             name=self._name,
+            attribute_types=self._attribute_types,
         )
 
     def renamed(self, name: str) -> "Dataset":
@@ -360,6 +419,7 @@ class Dataset:
             self._claims,
             self._truth,
             name=name,
+            attribute_types=self._attribute_types,
         )
 
 

@@ -23,7 +23,7 @@ _FORMAT_VERSION = 1
 
 def dataset_to_dict(dataset: Dataset) -> dict:
     """Encode ``dataset`` as a JSON-serialisable dictionary."""
-    return {
+    payload = {
         "format_version": _FORMAT_VERSION,
         "name": dataset.name,
         "sources": list(dataset.sources),
@@ -37,6 +37,15 @@ def dataset_to_dict(dataset: Dataset) -> dict:
             [o, a, v] for (o, a), v in sorted(dataset.truth.items())
         ],
     }
+    if dataset.has_typed_attributes:
+        # Emitted only for typed datasets so pre-existing files and
+        # fixtures keep byte-identical output.
+        payload["attribute_types"] = {
+            a: kind
+            for a, kind in dataset.attribute_types.items()
+            if kind != "categorical"
+        }
+    return payload
 
 
 def dataset_from_dict(payload: Mapping) -> Dataset:
@@ -48,6 +57,7 @@ def dataset_from_dict(payload: Mapping) -> Dataset:
     builder.declare_sources(payload.get("sources", []))
     builder.declare_objects(payload.get("objects", []))
     builder.declare_attributes(payload.get("attributes", []))
+    builder.declare_attribute_types(payload.get("attribute_types", {}))
     for source, obj, attribute, value in payload.get("claims", []):
         builder.add_claim(source, obj, attribute, _freeze(value))
     for obj, attribute, value in payload.get("truth", []):

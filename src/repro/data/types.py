@@ -21,6 +21,33 @@ ObjectId = str
 AttributeId = str
 Value = Hashable
 
+#: Attribute value families the estimator router dispatches on.
+#:
+#: * ``"categorical"`` — one discrete truth per fact, claims compared by
+#:   equality.  The default; every dataset before the scenario subsystem
+#:   is implicitly all-categorical.
+#: * ``"continuous"`` — numeric truths where the right aggregate is a
+#:   weighted estimate (mean / median), not a vote among claimed values,
+#:   and "correct" is similarity within a tolerance (CRH / CATD family).
+#: * ``"multi"`` — set-valued truths (SmartMTD's multi-truth setting).
+#:   Claims and truths are tuples of values; evaluation is set-based
+#:   precision / recall / F1 instead of exact match.
+CATEGORICAL = "categorical"
+CONTINUOUS = "continuous"
+MULTI = "multi"
+ATTRIBUTE_TYPES = (CATEGORICAL, CONTINUOUS, MULTI)
+
+#: Alias used in signatures; values must be one of :data:`ATTRIBUTE_TYPES`.
+AttributeType = str
+
+
+def validate_attribute_type(kind: str) -> str:
+    """Return ``kind`` if it is a known attribute type, else raise."""
+    if kind not in ATTRIBUTE_TYPES:
+        known = ", ".join(ATTRIBUTE_TYPES)
+        raise DataError(f"unknown attribute type {kind!r}; known: {known}")
+    return kind
+
 
 @dataclass(frozen=True, slots=True)
 class Fact:

@@ -10,8 +10,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from numbers import Real
+
 from repro.data.dataset import Dataset
-from repro.data.types import DataError
+from repro.data.types import CONTINUOUS, MULTI, DataError
 
 
 @dataclass(frozen=True, slots=True)
@@ -62,6 +64,40 @@ def validate_dataset(dataset: Dataset) -> list[Finding]:
             )
         )
 
+    for kind, ok, label in (
+        (CONTINUOUS, _is_numeric, "non-numeric"),
+        (MULTI, _is_value_tuple, "non-tuple"),
+    ):
+        attrs = set(dataset.attributes_of_type(kind))
+        if not attrs:
+            continue
+        bad_claims = sum(
+            1
+            for (_, _, a), v in dataset.claims.items()
+            if a in attrs and not ok(v)
+        )
+        if bad_claims:
+            findings.append(
+                Finding(
+                    "error",
+                    f"{bad_claims} claim(s) on {kind} attribute(s) hold "
+                    f"{label} values",
+                )
+            )
+        bad_truths = sum(
+            1
+            for (_, a), v in dataset.truth.items()
+            if a in attrs and not ok(v)
+        )
+        if bad_truths:
+            findings.append(
+                Finding(
+                    "error",
+                    f"{bad_truths} ground-truth value(s) on {kind} "
+                    f"attribute(s) are {label}",
+                )
+            )
+
     if dataset.has_truth:
         truth_keys = set(dataset.truth)
         fact_keys = {(f.object, f.attribute) for f in dataset.facts}
@@ -88,6 +124,16 @@ def validate_dataset(dataset: Dataset) -> list[Finding]:
                 )
             )
     return findings
+
+
+def _is_numeric(value: object) -> bool:
+    return isinstance(value, Real) and not isinstance(value, bool)
+
+
+def _is_value_tuple(value: object) -> bool:
+    # Multi-valued claims/truths must be tuples: frozensets have
+    # hash-randomized repr order (breaks fingerprints) and no WAL encoding.
+    return isinstance(value, tuple)
 
 
 def check_dataset(dataset: Dataset) -> None:

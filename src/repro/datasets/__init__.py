@@ -29,8 +29,11 @@ from repro.datasets.flights import flights_planted_partition, make_flights
 from repro.datasets.registry import available, load
 from repro.datasets.stocks import make_stocks, stocks_planted_partition
 from repro.datasets.synthetic import (
+    MIXED_ATTRIBUTE_TYPES,
+    MIXED_GROUPS,
     PLANTED_PARTITIONS,
     TABLE3_LEVELS,
+    make_mixed,
     make_synthetic,
     planted_partition,
 )
@@ -39,6 +42,8 @@ __all__ = [
     "DOMAINS",
     "GeneratedDataset",
     "GeneratorConfig",
+    "MIXED_ATTRIBUTE_TYPES",
+    "MIXED_GROUPS",
     "PLANTED_PARTITIONS",
     "SourceClass",
     "TABLE3_LEVELS",
@@ -51,6 +56,7 @@ __all__ = [
     "make_books",
     "make_exam",
     "make_flights",
+    "make_mixed",
     "make_semi_synthetic",
     "make_stocks",
     "make_synthetic",

@@ -24,7 +24,7 @@ The engine is deterministic given its seed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -168,11 +168,20 @@ class GeneratorConfig:
     hard_fact_factor: float = 0.3
     #: Optional custom value factory; defaults to categorical tokens.
     value_factory: ValueFactory | None = None
+    #: Non-categorical attribute type tags (attribute -> kind), declared
+    #: on the built dataset so typed routing and metrics engage.
+    attribute_types: Mapping[str, str] = field(default_factory=dict)
     seed: int = 0
 
     def __post_init__(self) -> None:
         if self.n_objects < 1:
             raise ValueError("need at least one object")
+        for attribute in self.attribute_types:
+            if attribute not in self.attributes:
+                raise ValueError(
+                    f"attribute type declared for unknown attribute "
+                    f"{attribute!r}"
+                )
         if not self.groups:
             raise ValueError("need at least one attribute group")
         n_groups = len(self.groups)
@@ -240,6 +249,9 @@ def generate(config: GeneratorConfig) -> GeneratedDataset:
     objects = [f"o{i + 1}" for i in range(config.n_objects)]
     builder.declare_objects(objects)
     builder.declare_attributes(config.attributes)
+    # After declare_attributes: type tagging must not perturb the
+    # group-flattened attribute order (tagging setdefaults its attribute).
+    builder.declare_attribute_types(config.attribute_types)
 
     group_of_attribute = {
         attribute: g

@@ -13,7 +13,7 @@ from repro.datasets.books import make_books
 from repro.datasets.exam import make_exam, make_semi_synthetic
 from repro.datasets.flights import make_flights
 from repro.datasets.stocks import make_stocks
-from repro.datasets.synthetic import make_synthetic
+from repro.datasets.synthetic import make_mixed, make_synthetic
 
 SYNTHETIC_NAMES = ("DS1", "DS2", "DS3")
 EXAM_SLICES = (32, 62, 124)
@@ -33,6 +33,11 @@ def load(name: str, seed: int = 0, scale: float = 1.0) -> Dataset:
     if upper in SYNTHETIC_NAMES:
         n_objects = max(int(1000 * scale), 10)
         return make_synthetic(upper, n_objects=n_objects, seed=seed).dataset
+    if upper == "MIXED":
+        # Typed preset: categorical + multi + continuous attributes with
+        # per-attribute type tags (drives TypeRouted and typed metrics).
+        n_objects = max(int(200 * scale), 10)
+        return make_mixed(n_objects=n_objects, seed=seed).dataset
     if upper == "BOOKS":
         # Bonus corpus (not in the paper's evaluation): list-valued
         # author claims in TruthFinder's original domain.
@@ -64,7 +69,7 @@ def load(name: str, seed: int = 0, scale: float = 1.0) -> Dataset:
 
 def available() -> tuple[str, ...]:
     """All registered dataset names."""
-    names = list(SYNTHETIC_NAMES) + ["Stocks", "Flights", "Books"]
+    names = list(SYNTHETIC_NAMES) + ["Mixed", "Stocks", "Flights", "Books"]
     names += [f"Exam {n}" for n in EXAM_SLICES]
     names += [
         f"Semi {n} range {r}"

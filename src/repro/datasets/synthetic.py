@@ -28,13 +28,21 @@ and gives the Accu family's copy detector real copying to find.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
+import numpy as np
+
 from repro.core.partition import Partition
+from repro.data.types import CONTINUOUS, MULTI
 from repro.datasets.engine import (
     GeneratedDataset,
     GeneratorConfig,
     SourceClass,
+    ValueFactory,
     generate,
+    token_values,
 )
+from repro.datasets.tokens import token
 
 _ATTRIBUTES = ("a1", "a2", "a3", "a4", "a5", "a6")
 _CLASS_SIZES = (5, 3, 2)
@@ -124,6 +132,101 @@ def make_synthetic(
             collusion=collusion,
         )
     )
+
+
+#: Planted structure of the mixed-type preset: one purely categorical
+#: group, one categorical+multi group, one continuous group.
+MIXED_GROUPS = (
+    ("color", "material"),
+    ("origin", "tags"),
+    ("price", "weight"),
+)
+
+#: Non-categorical type tags of the mixed preset (the rest default).
+MIXED_ATTRIBUTE_TYPES = {
+    "tags": MULTI,
+    "price": CONTINUOUS,
+    "weight": CONTINUOUS,
+}
+
+#: Token index offset for multi-valued truths, far past anything
+#: token_values reaches, so tag elements never collide with the
+#: categorical value universe.
+_MULTI_TOKEN_BASE = 10_000_000
+
+
+def _mixed_factory(pool_size: int) -> ValueFactory:
+    """Per-attribute dispatch: tokens, numeric quotes, or tag tuples.
+
+    * categorical attributes reuse :func:`token_values`;
+    * ``price`` / ``weight`` get float truths with materially wrong
+      distractors (5-40% off), claimed verbatim — no reporting jitter, so
+      the exact-equality truth vectors of Eq. 1 stay meaningful;
+    * ``tags`` gets a two-element tuple truth; distractors drop an
+      element, swap one for a spurious tag, or add the spurious tag — the
+      three canonical multi-truth corruption modes.
+    """
+    categorical = token_values(pool_size)
+    counter = {"next": 0}
+
+    def factory(
+        rng: np.random.Generator, obj: str, attribute: str
+    ) -> tuple:
+        if attribute in ("price", "weight"):
+            truth = float(np.round(rng.uniform(10.0, 500.0), 2))
+            pool = [
+                float(
+                    np.round(truth * (1.0 + sign * rng.uniform(0.05, 0.4)), 2)
+                )
+                for sign, _ in zip([1, -1] * pool_size, range(pool_size))
+            ]
+            return truth, pool
+        if attribute == "tags":
+            base = _MULTI_TOKEN_BASE + counter["next"] * 3
+            counter["next"] += 1
+            kept = sorted(token(base + d) for d in range(2))
+            spurious = token(base + 2)
+            truth = tuple(kept)
+            pool = [
+                (kept[0],),
+                tuple(sorted((kept[0], spurious))),
+                tuple(sorted(kept + [spurious])),
+            ][:pool_size]
+            return truth, pool
+        return categorical(rng, obj, attribute)
+
+    return factory
+
+
+def make_mixed(
+    n_objects: int = 200,
+    seed: int = 0,
+    collusion: float = 0.85,
+) -> GeneratedDataset:
+    """Generate the mixed categorical / multi / continuous dataset.
+
+    Same class structure as DS1-DS3 (sizes 5/3/2, rotated DS3 reliability
+    levels) over :data:`MIXED_GROUPS`, with per-attribute value families
+    from :data:`MIXED_ATTRIBUTE_TYPES`; the planted partition aligns with
+    the type boundaries, so TD-AC's clustering and the type router see
+    the same structure.
+    """
+    m1, m2, m3 = TABLE3_LEVELS["DS3"]
+    profiles = ((m1, m2, m3), (m2, m3, m1), (m3, m1, m2))
+    config = _config(
+        name="Mixed",
+        groups=MIXED_GROUPS,
+        profiles=profiles,
+        n_objects=n_objects,
+        seed=seed,
+        collusion=collusion,
+    )
+    config = replace(
+        config,
+        value_factory=_mixed_factory(config.pool_size),
+        attribute_types=MIXED_ATTRIBUTE_TYPES,
+    )
+    return generate(config)
 
 
 def planted_partition(name: str) -> Partition:

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.algorithms.registry import available, create
+from repro.algorithms.registry import available, capability_gap, create
 from repro.core.config import TDACConfig
 from repro.core.tdac import TDAC
 from repro.data.dataset import Dataset
@@ -29,12 +29,21 @@ class LeaderboardEntry:
         return (self.rank,) + self.record.as_row()
 
 
+@dataclass(frozen=True)
+class SkippedAlgorithm:
+    """An algorithm excluded from a leaderboard, and why."""
+
+    algorithm: str
+    reason: str
+
+
 def leaderboard(
     dataset: Dataset,
     include_tdac: bool = True,
     algorithms: Sequence[str] | None = None,
     seed: int = 0,
     config: TDACConfig | None = None,
+    skipped: list[SkippedAlgorithm] | None = None,
 ) -> list[LeaderboardEntry]:
     """Run the registry on ``dataset`` and rank by accuracy.
 
@@ -44,12 +53,24 @@ def leaderboard(
     ...) for the wrapped rows; ``seed`` is honored only when no config
     is given.  Ties rank by precision, then by wall time (faster
     first).
+
+    Algorithms whose declared value types do not cover the dataset's
+    attribute types are skipped, never run: a continuous estimator on a
+    categorical corpus (or a slot voter on numeric data) would produce
+    garbage, not a ranking.  Pass a list as ``skipped`` to collect one
+    :class:`SkippedAlgorithm` per exclusion, with the reason.
     """
     tdac_config = config if config is not None else TDACConfig(seed=seed)
     names = tuple(algorithms) if algorithms is not None else available()
     records: list[PerformanceRecord] = []
     for name in names:
-        records.append(run_algorithm(create(name), dataset))
+        base = create(name)
+        gap = capability_gap(base, dataset)
+        if gap is not None:
+            if skipped is not None:
+                skipped.append(SkippedAlgorithm(algorithm=name, reason=gap))
+            continue
+        records.append(run_algorithm(base, dataset))
         if include_tdac:
             records.append(
                 run_algorithm(TDAC(create(name), config=tdac_config), dataset)

@@ -30,6 +30,7 @@ SECTIONS: tuple[tuple[str, str], ...] = (
     ("figure5", "Figure 5 — TD-AC impact at low coverage"),
     ("ablation", "Ablations A-1 … A-6"),
     ("extension", "Extension experiments"),
+    ("scenarios", "Degradation leaderboards — adversarial scenarios"),
 )
 
 

@@ -13,12 +13,34 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.algorithms.base import TruthDiscoveryAlgorithm, TruthDiscoveryResult
+from repro.algorithms.registry import capability_gap
 from repro.baselines.gen_partition import AccuGenPartition
 from repro.core.partition import Partition
 from repro.core.tdac import TDAC
 from repro.data.dataset import Dataset
+from repro.data.types import DataError
 from repro.metrics.classification import evaluate_predictions, fact_accuracy
 from repro.observability import SpanTracer, activate, current_tracer
+
+
+class UnsupportedDataError(DataError):
+    """An algorithm was asked to run on value types it does not support."""
+
+
+def check_capability(
+    algorithm: TruthDiscoveryAlgorithm | TDAC | AccuGenPartition,
+    dataset: Dataset,
+) -> None:
+    """Raise :class:`UnsupportedDataError` when the run would be unsound.
+
+    Meta algorithms (TD-AC, GenPartition) are unwrapped to their base:
+    the partition machinery itself is type-agnostic, so the base's
+    declared value types decide.
+    """
+    base = getattr(algorithm, "base", algorithm)
+    gap = capability_gap(base, dataset)
+    if gap is not None:
+        raise UnsupportedDataError(gap)
 
 
 @dataclass(frozen=True)
@@ -62,6 +84,7 @@ def run_algorithm(
     recorded as ``evaluate`` — together the top-level spans tile the
     whole call.
     """
+    check_capability(algorithm, dataset)
     with activate(tracer):
         partition: Partition | None = None
         if isinstance(algorithm, TDAC):
@@ -85,8 +108,20 @@ def record_from_result(
     result: TruthDiscoveryResult,
     partition: Partition | None = None,
 ) -> PerformanceRecord:
-    """Build a performance record from an already-computed result."""
-    report = evaluate_predictions(dataset, result.predictions)
+    """Build a performance record from an already-computed result.
+
+    Typed datasets (any non-categorical attribute) are scored with the
+    type-aware protocols of :mod:`repro.metrics.typed`; untyped ones
+    keep the classic claim-labelling report, unchanged.
+    """
+    if dataset.has_typed_attributes:
+        from repro.metrics.typed import evaluate_typed, typed_fact_accuracy
+
+        report = evaluate_typed(dataset, result.predictions).overall
+        facts_right = typed_fact_accuracy(dataset, result.predictions)
+    else:
+        report = evaluate_predictions(dataset, result.predictions)
+        facts_right = fact_accuracy(dataset, result.predictions)
     return PerformanceRecord(
         dataset=dataset.name,
         algorithm=result.algorithm,
@@ -96,7 +131,7 @@ def record_from_result(
         f1=report.f1,
         elapsed_seconds=result.elapsed_seconds,
         iterations=result.iterations,
-        fact_accuracy=fact_accuracy(dataset, result.predictions),
+        fact_accuracy=facts_right,
         partition=partition,
     )
 

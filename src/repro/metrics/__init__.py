@@ -6,8 +6,16 @@ from repro.metrics.classification import (
     confusion_counts,
     evaluate_predictions,
     fact_accuracy,
+    report_from_counts,
     source_accuracy,
     tolerant_fact_accuracy,
+)
+from repro.metrics.typed import (
+    TypedEvaluationReport,
+    evaluate_typed,
+    set_confusion_counts,
+    tolerant_confusion_counts,
+    typed_fact_accuracy,
 )
 from repro.metrics.ranking import (
     kendall_tau,
@@ -27,14 +35,20 @@ __all__ = [
     "PartitionAgreement",
     "Stopwatch",
     "Timer",
+    "TypedEvaluationReport",
     "compare_partitions",
     "confusion_counts",
     "evaluate_predictions",
+    "evaluate_typed",
     "fact_accuracy",
     "is_refinement",
     "kendall_tau",
+    "report_from_counts",
+    "set_confusion_counts",
     "source_accuracy",
+    "tolerant_confusion_counts",
     "tolerant_fact_accuracy",
     "top_k_precision",
     "trust_ranking_quality",
+    "typed_fact_accuracy",
 ]

@@ -99,11 +99,10 @@ def confusion_counts(
     return ConfusionCounts(tp, fp, fn, tn), n_facts
 
 
-def evaluate_predictions(
-    dataset: Dataset, predictions: Mapping[Fact, Value]
+def report_from_counts(
+    counts: ConfusionCounts, n_facts: int
 ) -> EvaluationReport:
-    """Full evaluation report of ``predictions`` against the ground truth."""
-    counts, n_facts = confusion_counts(dataset, predictions)
+    """Derive the headline ratios from raw confusion counts."""
     tp = counts.true_positives
     fp = counts.false_positives
     fn = counts.false_negatives
@@ -125,6 +124,14 @@ def evaluate_predictions(
         counts=counts,
         n_facts_evaluated=n_facts,
     )
+
+
+def evaluate_predictions(
+    dataset: Dataset, predictions: Mapping[Fact, Value]
+) -> EvaluationReport:
+    """Full evaluation report of ``predictions`` against the ground truth."""
+    counts, n_facts = confusion_counts(dataset, predictions)
+    return report_from_counts(counts, n_facts)
 
 
 def fact_accuracy(

@@ -1,0 +1,216 @@
+"""Type-aware evaluation: set-valued PRF, tolerant continuous, mixed.
+
+The claim-labelling protocol of :mod:`repro.metrics.classification`
+assumes one discrete truth per fact.  Typed datasets break that in two
+ways:
+
+* **multi** attributes hold set-valued truths (tuples).  Following
+  SmartMTD's multi-truth evaluation, every *element* claimed for the
+  fact becomes a labelling decision: positive when the predicted set
+  contains it, gold-positive when the true set does.  Set precision /
+  recall / F1 fall out of the same confusion ratios.
+* **continuous** attributes have no meaningful value-equality decisions
+  at all; each evaluated fact contributes a single decision — correct
+  when :func:`~repro.algorithms.similarity.value_similarity` to the
+  truth reaches the tolerance (the CRH/CATD tolerance contract),
+  otherwise one false positive plus one false negative.
+
+:func:`evaluate_typed` routes each attribute-type block to its protocol
+and sums the confusion counts into one overall report.  On an untyped
+(all-categorical) dataset it *is* ``evaluate_predictions`` — same
+counts, same ratios — so single-truth metrics are unchanged by this
+module's existence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.data.dataset import Dataset
+from repro.data.types import (
+    CATEGORICAL,
+    CONTINUOUS,
+    MULTI,
+    Fact,
+    GroundTruthError,
+    Value,
+)
+from repro.metrics.classification import (
+    ConfusionCounts,
+    EvaluationReport,
+    confusion_counts,
+    evaluate_predictions,
+    report_from_counts,
+)
+
+_DEFAULT_TOLERANCE = 0.99
+
+
+@dataclass(frozen=True)
+class TypedEvaluationReport:
+    """Per-type and combined evaluation of one prediction set."""
+
+    overall: EvaluationReport
+    by_type: Mapping[str, EvaluationReport]
+    tolerance: float
+
+
+def _as_value_set(value: Value) -> set:
+    return set(value) if isinstance(value, tuple) else {value}
+
+
+def set_confusion_counts(
+    dataset: Dataset, predictions: Mapping[Fact, Value]
+) -> tuple[ConfusionCounts, int]:
+    """Element-level confusion counts for set-valued (multi) truths.
+
+    The candidate universe of a fact is the union of the elements of its
+    distinct claimed tuples — the same "only claimed values are
+    decisions" rule the categorical protocol uses.
+    """
+    if not dataset.has_truth:
+        raise GroundTruthError("evaluation requires a dataset with ground truth")
+    tp = fp = fn = tn = 0
+    n_facts = 0
+    for fact in dataset.facts:
+        truth = dataset.true_value(fact)
+        if truth is None:
+            continue
+        predicted = predictions.get(fact)
+        if predicted is None:
+            continue
+        n_facts += 1
+        truth_set = _as_value_set(truth)
+        predicted_set = _as_value_set(predicted)
+        candidates: set = set()
+        for claimed in dataset.values_for(fact):
+            candidates |= _as_value_set(claimed)
+        for value in sorted(candidates, key=repr):
+            labelled_true = value in predicted_set
+            actually_true = value in truth_set
+            if labelled_true and actually_true:
+                tp += 1
+            elif labelled_true:
+                fp += 1
+            elif actually_true:
+                fn += 1
+            else:
+                tn += 1
+    return ConfusionCounts(tp, fp, fn, tn), n_facts
+
+
+def tolerant_confusion_counts(
+    dataset: Dataset,
+    predictions: Mapping[Fact, Value],
+    tolerance: float = _DEFAULT_TOLERANCE,
+) -> tuple[ConfusionCounts, int]:
+    """One decision per continuous fact: similar-enough or wrong.
+
+    A miss counts as one false positive (a wrong value was asserted)
+    plus one false negative (the true value was not), so precision and
+    recall both reflect the miss.
+    """
+    from repro.algorithms.similarity import value_similarity
+
+    if not dataset.has_truth:
+        raise GroundTruthError("evaluation requires a dataset with ground truth")
+    if not 0.0 < tolerance <= 1.0:
+        raise ValueError("tolerance must be in (0, 1]")
+    tp = fp = fn = 0
+    n_facts = 0
+    for fact in dataset.facts:
+        truth = dataset.true_value(fact)
+        predicted = predictions.get(fact)
+        if truth is None or predicted is None:
+            continue
+        n_facts += 1
+        if value_similarity(predicted, truth) >= tolerance:
+            tp += 1
+        else:
+            fp += 1
+            fn += 1
+    return ConfusionCounts(tp, fp, fn, 0), n_facts
+
+
+def evaluate_typed(
+    dataset: Dataset,
+    predictions: Mapping[Fact, Value],
+    tolerance: float = _DEFAULT_TOLERANCE,
+) -> TypedEvaluationReport:
+    """Evaluate ``predictions`` with each attribute type's protocol.
+
+    Untyped datasets short-circuit to the classic claim-labelling
+    report, bit-for-bit.
+    """
+    if not dataset.has_typed_attributes:
+        report = evaluate_predictions(dataset, predictions)
+        return TypedEvaluationReport(
+            overall=report,
+            by_type={CATEGORICAL: report},
+            tolerance=tolerance,
+        )
+    counters = {
+        CATEGORICAL: confusion_counts,
+        MULTI: set_confusion_counts,
+        CONTINUOUS: lambda ds, preds: tolerant_confusion_counts(
+            ds, preds, tolerance
+        ),
+    }
+    by_type: dict[str, EvaluationReport] = {}
+    tp = fp = fn = tn = 0
+    n_facts = 0
+    for kind, counter in counters.items():
+        attrs = dataset.attributes_of_type(kind)
+        if not attrs:
+            continue
+        sub = dataset.restrict_attributes(attrs)
+        if not sub.has_truth or sub.n_claims == 0:
+            continue
+        counts, kind_facts = counter(sub, predictions)
+        by_type[kind] = report_from_counts(counts, kind_facts)
+        tp += counts.true_positives
+        fp += counts.false_positives
+        fn += counts.false_negatives
+        tn += counts.true_negatives
+        n_facts += kind_facts
+    overall = report_from_counts(ConfusionCounts(tp, fp, fn, tn), n_facts)
+    return TypedEvaluationReport(
+        overall=overall, by_type=by_type, tolerance=tolerance
+    )
+
+
+def typed_fact_accuracy(
+    dataset: Dataset,
+    predictions: Mapping[Fact, Value],
+    tolerance: float = _DEFAULT_TOLERANCE,
+) -> float:
+    """Fact accuracy under each type's notion of "correct".
+
+    Categorical facts match exactly, multi facts match as value *sets*
+    (claim order inside the tuple is presentation, not content), and
+    continuous facts match within the similarity tolerance.
+    """
+    from repro.algorithms.similarity import value_similarity
+
+    if not dataset.has_truth:
+        raise GroundTruthError("evaluation requires a dataset with ground truth")
+    types = dataset.attribute_types
+    correct = 0
+    evaluated = 0
+    for fact in dataset.facts:
+        truth = dataset.true_value(fact)
+        predicted = predictions.get(fact)
+        if truth is None or predicted is None:
+            continue
+        evaluated += 1
+        kind = types.get(fact.attribute, CATEGORICAL)
+        if kind == CONTINUOUS:
+            hit = value_similarity(predicted, truth) >= tolerance
+        elif kind == MULTI:
+            hit = _as_value_set(predicted) == _as_value_set(truth)
+        else:
+            hit = predicted == truth
+        if hit:
+            correct += 1
+    return correct / evaluated if evaluated else 0.0

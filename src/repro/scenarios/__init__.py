@@ -1,0 +1,47 @@
+"""Adversarial scenario generators and the degradation leaderboard.
+
+See :mod:`repro.scenarios.generators` for the seeded workload
+transformations (copying cliques, reliability drift, late arrival) and
+:mod:`repro.scenarios.sweep` for the severity sweep that turns them into
+accuracy/F1-vs-severity curves and a robustness ranking.
+"""
+
+from repro.scenarios.generators import (
+    SCENARIOS,
+    ScenarioConfig,
+    apply_scenario,
+    copying_cliques,
+    late_arrival_stream,
+    reliability_drift,
+    replayed_dataset,
+)
+from repro.scenarios.sweep import (
+    DEFAULT_ALGORITHMS,
+    DEFAULT_SEVERITIES,
+    LEADERBOARD_HEADER,
+    DegradationRecord,
+    DegradationSweep,
+    LeaderboardRow,
+    degradation_leaderboard,
+    degradation_sweep,
+    resolve_algorithm,
+)
+
+__all__ = [
+    "DEFAULT_ALGORITHMS",
+    "DEFAULT_SEVERITIES",
+    "LEADERBOARD_HEADER",
+    "DegradationRecord",
+    "DegradationSweep",
+    "LeaderboardRow",
+    "SCENARIOS",
+    "ScenarioConfig",
+    "apply_scenario",
+    "copying_cliques",
+    "degradation_leaderboard",
+    "degradation_sweep",
+    "late_arrival_stream",
+    "reliability_drift",
+    "replayed_dataset",
+    "resolve_algorithm",
+]

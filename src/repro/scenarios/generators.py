@@ -1,0 +1,265 @@
+"""Seeded adversarial workload generators (copying, drift, late arrival).
+
+Truth discovery algorithms are compared on *clean* group-structured
+corpora; real corpora misbehave.  This module turns any dataset into an
+adversarial variant along one severity axis, deterministically per seed:
+
+* :func:`copying_cliques` — a clique of sources re-publishes a leader's
+  claims verbatim (``copy_rate`` of their claims), inflating whatever the
+  leader says.  The Accu family's copy detector exists for exactly this.
+* :func:`reliability_drift` — sources degrade over their claim stream:
+  the probability that a claim is flipped to a wrong value grows linearly
+  with its position, reaching ``drift_rate`` at the end.  Algorithms that
+  model one static reliability per source average over the drift.
+* :func:`late_arrival_stream` — the claim stream arrives in batches with
+  a ``reorder_fraction`` of claims delayed by whole batches, exercising
+  the serving delta path's tolerance to out-of-order ingestion.
+
+Every generator is an *identity* at severity 0 — it returns the input
+dataset object itself — so a severity sweep's first point reproduces the
+clean-corpus result bit for bit.  :class:`ScenarioConfig` names one
+(scenario, severity, seed, params) cell and fingerprints it, so recorded
+leaderboards can be reproduced exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.builder import DatasetBuilder
+from repro.data.dataset import Dataset
+from repro.data.types import CATEGORICAL, Claim
+
+#: The registered scenario names, in presentation order.
+SCENARIOS = ("copying", "drift", "reorder")
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One (scenario, severity, seed, params) cell of a sweep, fingerprinted.
+
+    ``params`` holds the scenario's non-severity knobs as a sorted tuple
+    of ``(name, value)`` pairs so the config hashes and reproduces
+    stably.
+    """
+
+    scenario: str
+    severity: float
+    seed: int = 0
+    params: tuple[tuple[str, float], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.scenario not in SCENARIOS:
+            known = ", ".join(SCENARIOS)
+            raise ValueError(
+                f"unknown scenario {self.scenario!r}; known: {known}"
+            )
+        if not 0.0 <= self.severity <= 1.0:
+            raise ValueError("severity must be in [0, 1]")
+        object.__setattr__(self, "params", tuple(sorted(self.params)))
+
+    def param(self, name: str, default: float) -> float:
+        """The value of knob ``name``, or ``default``."""
+        return dict(self.params).get(name, default)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable digest of the scenario cell (for recorded leaderboards)."""
+        payload = repr(
+            (self.scenario, float(self.severity), int(self.seed), self.params)
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _ordered_claims(dataset: Dataset) -> list[Claim]:
+    """The canonical claim stream: builder insertion order."""
+    return list(dataset.iter_claims())
+
+
+def copying_cliques(
+    dataset: Dataset,
+    copy_rate: float,
+    n_copiers: int = 3,
+    seed: int = 0,
+) -> Dataset:
+    """Make ``n_copiers`` sources copy a leader's claims at ``copy_rate``.
+
+    The leader and the copier clique are drawn deterministically from
+    ``seed``; each copier claim whose fact the leader also covers is
+    replaced by the leader's value with probability ``copy_rate``.  At
+    rate 0 the input dataset is returned unchanged (the same object).
+    """
+    if not 0.0 <= copy_rate <= 1.0:
+        raise ValueError("copy_rate must be in [0, 1]")
+    if n_copiers < 1:
+        raise ValueError("need at least one copier")
+    if copy_rate == 0.0 or len(dataset.sources) < 2:
+        return dataset
+    rng = np.random.default_rng(seed)
+    sources = list(dataset.sources)
+    leader = sources[int(rng.integers(len(sources)))]
+    others = [s for s in sources if s != leader]
+    picked = rng.choice(
+        len(others), size=min(n_copiers, len(others)), replace=False
+    )
+    copiers = {others[i] for i in sorted(int(i) for i in picked)}
+    leader_claims = {
+        (o, a): v for (s, o, a), v in dataset.claims.items() if s == leader
+    }
+    claims = {}
+    for claim in _ordered_claims(dataset):
+        value = claim.value
+        if claim.source in copiers:
+            copied = leader_claims.get((claim.object, claim.attribute))
+            if copied is not None and rng.random() < copy_rate:
+                value = copied
+        claims[(claim.source, claim.object, claim.attribute)] = value
+    return Dataset(
+        dataset.sources,
+        dataset.objects,
+        dataset.attributes,
+        claims,
+        dataset.truth,
+        name=dataset.name,
+        attribute_types=dataset.attribute_types,
+    )
+
+
+def reliability_drift(
+    dataset: Dataset,
+    drift_rate: float,
+    seed: int = 0,
+) -> Dataset:
+    """Degrade every source linearly over its own claim stream.
+
+    A claim at relative position ``p`` (0 = a source's first claim,
+    1 = its last) is flipped to a wrong value with probability
+    ``drift_rate * p``; the replacement is one of the *other* values
+    claimed for the fact (so the corruption stays in the fact's
+    candidate universe), drawn deterministically.  Claims on facts with
+    no alternative value are left alone.  At rate 0 the input dataset is
+    returned unchanged (the same object).
+    """
+    if not 0.0 <= drift_rate <= 1.0:
+        raise ValueError("drift_rate must be in [0, 1]")
+    if drift_rate == 0.0:
+        return dataset
+    rng = np.random.default_rng(seed)
+    position: dict = {}
+    totals: dict = {}
+    for claim in _ordered_claims(dataset):
+        totals[claim.source] = totals.get(claim.source, 0) + 1
+    claims = {}
+    for claim in _ordered_claims(dataset):
+        seen = position.get(claim.source, 0)
+        position[claim.source] = seen + 1
+        denominator = max(totals[claim.source] - 1, 1)
+        p = seen / denominator
+        value = claim.value
+        if rng.random() < drift_rate * p:
+            alternatives = [
+                v for v in dataset.values_for(claim.fact) if v != value
+            ]
+            if alternatives:
+                value = alternatives[int(rng.integers(len(alternatives)))]
+        claims[(claim.source, claim.object, claim.attribute)] = value
+    return Dataset(
+        dataset.sources,
+        dataset.objects,
+        dataset.attributes,
+        claims,
+        dataset.truth,
+        name=dataset.name,
+        attribute_types=dataset.attribute_types,
+    )
+
+
+def late_arrival_stream(
+    dataset: Dataset,
+    reorder_fraction: float,
+    batch_size: int = 250,
+    max_delay: int = 3,
+    seed: int = 0,
+) -> list[list[Claim]]:
+    """Split the claim stream into batches with late, out-of-order claims.
+
+    The canonical stream (builder insertion order) is chunked into
+    batches of ``batch_size``; a ``reorder_fraction`` of claims are each
+    delayed by 1..``max_delay`` whole batches (clamped to the last
+    batch).  At fraction 0 the batches are the canonical in-order
+    chunking.  Feed the batches to a serving engine (``ingest`` /
+    ``IncrementalTDAC.update``) to exercise the delta path under
+    out-of-order ingestion.
+    """
+    if not 0.0 <= reorder_fraction <= 1.0:
+        raise ValueError("reorder_fraction must be in [0, 1]")
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    if max_delay < 1:
+        raise ValueError("max_delay must be at least 1")
+    stream = _ordered_claims(dataset)
+    n_batches = max((len(stream) + batch_size - 1) // batch_size, 1)
+    batches: list[list[Claim]] = [[] for _ in range(n_batches)]
+    rng = np.random.default_rng(seed)
+    for i, claim in enumerate(stream):
+        batch = i // batch_size
+        if reorder_fraction > 0.0 and rng.random() < reorder_fraction:
+            batch += int(rng.integers(1, max_delay + 1))
+        batches[min(batch, n_batches - 1)].append(claim)
+    return batches
+
+
+def replayed_dataset(dataset: Dataset, batches: list[list[Claim]]) -> Dataset:
+    """Rebuild ``dataset`` from an arrival stream, universes in seen order.
+
+    Claim *content* is order-insensitive (claims form a set), but the
+    source / object / attribute universes of a served corpus grow in
+    arrival order — which is exactly what deterministic tie-breaking
+    ranks hang off.  Replaying the batches reproduces the dataset a
+    streaming engine would end up holding.
+    """
+    builder = DatasetBuilder(name=dataset.name)
+    for batch in batches:
+        builder.add_claims(batch)
+    builder.set_truths(dataset.truth)
+    builder.declare_attribute_types(
+        {
+            a: kind
+            for a, kind in dataset.attribute_types.items()
+            if kind != CATEGORICAL
+        }
+    )
+    return builder.build()
+
+
+def apply_scenario(dataset: Dataset, config: ScenarioConfig) -> Dataset:
+    """Materialise the dataset a scenario cell subjects algorithms to.
+
+    ``reorder`` cells return the replayed (arrival-ordered) corpus; the
+    batch stream itself is available via :func:`late_arrival_stream` for
+    serving-path replays.  Severity 0 always returns ``dataset`` itself.
+    """
+    if config.severity == 0.0:
+        return dataset
+    if config.scenario == "copying":
+        return copying_cliques(
+            dataset,
+            copy_rate=config.severity,
+            n_copiers=int(config.param("n_copiers", 3)),
+            seed=config.seed,
+        )
+    if config.scenario == "drift":
+        return reliability_drift(
+            dataset, drift_rate=config.severity, seed=config.seed
+        )
+    batches = late_arrival_stream(
+        dataset,
+        reorder_fraction=config.severity,
+        batch_size=int(config.param("batch_size", 250)),
+        max_delay=int(config.param("max_delay", 3)),
+        seed=config.seed,
+    )
+    return replayed_dataset(dataset, batches)

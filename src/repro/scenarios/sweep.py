@@ -1,0 +1,234 @@
+"""Degradation sweeps: accuracy-vs-severity curves and their leaderboard.
+
+:func:`degradation_sweep` runs a roster of algorithms over every
+(scenario, severity) cell of a grid and records the paper's headline
+metrics per cell; :func:`degradation_leaderboard` condenses the curves
+into one ranked robustness table (clean accuracy, worst-case accuracy,
+drop), which answers the practitioner question the clean-corpus
+leaderboard cannot: *which algorithm degrades least when the corpus
+misbehaves?*
+
+Severity 0 cells run on the untouched input dataset (the generators are
+identities there), so each curve's first point doubles as the clean
+baseline — ``benchmarks/bench_scenarios.py`` asserts that parity before
+reporting anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.algorithms.registry import capability_gap, create
+from repro.algorithms.routing import TypeRouted
+from repro.core.config import TDACConfig
+from repro.core.tdac import TDAC
+from repro.data.dataset import Dataset
+from repro.evaluation.leaderboard import SkippedAlgorithm
+from repro.evaluation.runner import run_algorithm
+from repro.scenarios.generators import SCENARIOS, ScenarioConfig, apply_scenario
+
+#: Default severity grid of a sweep.
+DEFAULT_SEVERITIES = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+#: Default algorithm roster: TD-AC plus three unpartitioned baselines.
+DEFAULT_ALGORITHMS = ("TDAC+MajorityVote", "MajorityVote", "TruthFinder", "CRH")
+
+
+@dataclass(frozen=True)
+class DegradationRecord:
+    """One algorithm's metrics on one (scenario, severity) cell."""
+
+    scenario: str
+    severity: float
+    algorithm: str
+    accuracy: float
+    f1: float
+    fact_accuracy: float
+    elapsed_seconds: float
+    fingerprint: str
+
+    def as_row(self) -> tuple:
+        return (
+            self.scenario,
+            round(self.severity, 3),
+            self.algorithm,
+            round(self.accuracy, 3),
+            round(self.f1, 3),
+            round(self.fact_accuracy, 3),
+        )
+
+
+@dataclass(frozen=True)
+class DegradationSweep:
+    """A full sweep: per-cell records, skips, and the cell configs."""
+
+    dataset: str
+    records: tuple[DegradationRecord, ...]
+    skipped: tuple[SkippedAlgorithm, ...]
+    configs: tuple[ScenarioConfig, ...]
+
+
+def resolve_algorithm(name: str, config: TDACConfig):
+    """Build an algorithm from a sweep roster name.
+
+    Accepts registry names, the ``TDAC+<base>`` spelling, and
+    ``Routed[<categorical>]`` / plain ``Routed`` for the type router
+    (``TDAC+Routed`` composes both).
+    """
+    if name.upper().startswith("TDAC+"):
+        return TDAC(resolve_algorithm(name[5:], config), config=config)
+    if name == "Routed":
+        return TypeRouted()
+    if name.startswith("Routed[") and name.endswith("]"):
+        return TypeRouted(categorical=create(name[len("Routed["):-1]))
+    return create(name)
+
+
+def degradation_sweep(
+    dataset: Dataset,
+    scenarios: Sequence[str] = SCENARIOS,
+    severities: Sequence[float] = DEFAULT_SEVERITIES,
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    seed: int = 0,
+    config: TDACConfig | None = None,
+) -> DegradationSweep:
+    """Run ``algorithms`` over the (scenario, severity) grid.
+
+    Algorithms whose declared value types do not cover the dataset are
+    skipped once per scenario grid with the reason recorded, mirroring
+    the clean leaderboard's capability gate.  Record order is scenario-
+    major, then severity, then roster order.
+    """
+    tdac_config = config if config is not None else TDACConfig(seed=seed)
+    records: list[DegradationRecord] = []
+    skipped: list[SkippedAlgorithm] = []
+    configs: list[ScenarioConfig] = []
+    skipped_names: set[str] = set()
+    for scenario in scenarios:
+        for severity in severities:
+            cell = ScenarioConfig(
+                scenario=scenario, severity=float(severity), seed=seed
+            )
+            configs.append(cell)
+            adversarial = apply_scenario(dataset, cell)
+            for name in algorithms:
+                algorithm = resolve_algorithm(name, tdac_config)
+                base = getattr(algorithm, "base", algorithm)
+                gap = capability_gap(base, adversarial)
+                if gap is not None:
+                    if name not in skipped_names:
+                        skipped_names.add(name)
+                        skipped.append(
+                            SkippedAlgorithm(algorithm=name, reason=gap)
+                        )
+                    continue
+                record = run_algorithm(algorithm, adversarial)
+                records.append(
+                    DegradationRecord(
+                        scenario=scenario,
+                        severity=float(severity),
+                        algorithm=name,
+                        accuracy=record.accuracy,
+                        f1=record.f1,
+                        fact_accuracy=record.fact_accuracy,
+                        elapsed_seconds=record.elapsed_seconds,
+                        fingerprint=cell.fingerprint,
+                    )
+                )
+    return DegradationSweep(
+        dataset=dataset.name,
+        records=tuple(records),
+        skipped=tuple(skipped),
+        configs=tuple(configs),
+    )
+
+
+@dataclass(frozen=True)
+class LeaderboardRow:
+    """One algorithm's robustness summary on one scenario."""
+
+    rank: int
+    scenario: str
+    algorithm: str
+    clean_accuracy: float
+    worst_accuracy: float
+    drop: float
+    clean_f1: float
+    worst_f1: float
+
+    def as_row(self) -> tuple:
+        return (
+            self.rank,
+            self.scenario,
+            self.algorithm,
+            round(self.clean_accuracy, 3),
+            round(self.worst_accuracy, 3),
+            round(self.drop, 3),
+            round(self.clean_f1, 3),
+            round(self.worst_f1, 3),
+        )
+
+
+#: Column header of :func:`degradation_leaderboard` rows.
+LEADERBOARD_HEADER = (
+    "Rank",
+    "Scenario",
+    "Algorithm",
+    "A(clean)",
+    "A(worst)",
+    "Drop",
+    "F1(clean)",
+    "F1(worst)",
+)
+
+
+def degradation_leaderboard(
+    sweep: DegradationSweep,
+) -> list[LeaderboardRow]:
+    """Rank (scenario, algorithm) pairs by smallest accuracy drop.
+
+    ``clean`` is the severity-0 cell, ``worst`` the minimum over the
+    swept severities; ties rank by higher worst-case accuracy, then by
+    algorithm name for determinism.  Ranking restarts per scenario.
+    """
+    by_cell: dict[tuple[str, str], list[DegradationRecord]] = {}
+    for record in sweep.records:
+        by_cell.setdefault((record.scenario, record.algorithm), []).append(
+            record
+        )
+    rows: list[LeaderboardRow] = []
+    scenarios = sorted({s for s, _ in by_cell})
+    for scenario in scenarios:
+        summaries = []
+        for (cell_scenario, algorithm), cell in sorted(by_cell.items()):
+            if cell_scenario != scenario:
+                continue
+            clean = min(cell, key=lambda r: r.severity)
+            worst = min(cell, key=lambda r: r.accuracy)
+            summaries.append(
+                (
+                    clean.accuracy - worst.accuracy,
+                    -worst.accuracy,
+                    algorithm,
+                    clean,
+                    worst,
+                )
+            )
+        summaries.sort(key=lambda row: row[:3])
+        for rank, (drop, _, algorithm, clean, worst) in enumerate(
+            summaries, start=1
+        ):
+            rows.append(
+                LeaderboardRow(
+                    rank=rank,
+                    scenario=scenario,
+                    algorithm=algorithm,
+                    clean_accuracy=clean.accuracy,
+                    worst_accuracy=worst.accuracy,
+                    drop=drop,
+                    clean_f1=clean.f1,
+                    worst_f1=worst.f1,
+                )
+            )
+    return rows

@@ -41,8 +41,8 @@ class TestReadme:
 
     def test_algorithm_count_claim_is_current(self):
         readme = read("README.md")
-        assert "fourteen truth discovery algorithms" in readme
-        assert len(available()) == 14
+        assert "seventeen truth discovery algorithms" in readme
+        assert len(available()) == 17
 
 
 class TestDesign:

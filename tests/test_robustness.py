@@ -8,7 +8,14 @@ empty-overlap restrictions.
 
 import pytest
 
-from repro.algorithms import Accu, MajorityVote, TruthFinder, available, create
+from repro.algorithms import (
+    Accu,
+    MajorityVote,
+    TruthFinder,
+    available,
+    capability_gap,
+    create,
+)
 from repro.core import TDAC
 from repro.data import DataError, DatasetBuilder, Fact
 from repro.metrics import evaluate_predictions
@@ -79,7 +86,14 @@ class TestDegenerateShapes:
         builder.add_claim("s2", "o", "a", 2)
         dataset = builder.build()
         for name in available():
-            result = create(name).discover(dataset)
+            algorithm = create(name)
+            if capability_gap(algorithm, dataset) is not None:
+                # Continuous estimators on an (untyped, hence
+                # categorical) corpus; their runner-facing contract is
+                # to be skipped, and their estimate may legitimately be
+                # off the claim universe (a weighted mean).
+                continue
+            result = algorithm.discover(dataset)
             assert result.predictions[Fact("o", "a")] in (1, 2), name
 
 

@@ -1,0 +1,233 @@
+"""Adversarial scenario generators and the degradation sweep.
+
+The load-bearing contract is severity 0 = identity: every generator must
+return the clean dataset *object* unchanged, so a sweep's first point
+reproduces the clean-corpus metrics bit for bit.  The rest pins
+determinism (same seed, same corruption), conservation laws (claims are
+transformed, never lost), and the leaderboard's ranking rules.
+"""
+
+import pytest
+
+from repro.core import TDAC, TDACConfig
+from repro.algorithms import MajorityVote
+from repro.datasets import load, make_mixed
+from repro.evaluation import run_algorithm
+from repro.scenarios import (
+    SCENARIOS,
+    ScenarioConfig,
+    apply_scenario,
+    copying_cliques,
+    degradation_leaderboard,
+    degradation_sweep,
+    late_arrival_stream,
+    reliability_drift,
+    replayed_dataset,
+    resolve_algorithm,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load("DS1", scale=0.02)
+
+
+@pytest.fixture(scope="module")
+def mixed():
+    return make_mixed(n_objects=10, seed=0).dataset
+
+
+class TestScenarioConfig:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            ScenarioConfig("chaos", 0.5)
+
+    def test_severity_bounds(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig("drift", 1.5)
+
+    def test_fingerprint_deterministic_and_sensitive(self):
+        a = ScenarioConfig("copying", 0.5, seed=1, params=(("n_copiers", 3),))
+        b = ScenarioConfig("copying", 0.5, seed=1, params=(("n_copiers", 3),))
+        assert a.fingerprint == b.fingerprint
+        assert a.fingerprint != ScenarioConfig("copying", 0.5, 2).fingerprint
+        assert a.fingerprint != ScenarioConfig("copying", 0.6, 1).fingerprint
+
+    def test_params_sorted_for_stability(self):
+        a = ScenarioConfig(
+            "reorder", 0.5, params=(("b", 2.0), ("a", 1.0))
+        )
+        b = ScenarioConfig(
+            "reorder", 0.5, params=(("a", 1.0), ("b", 2.0))
+        )
+        assert a.fingerprint == b.fingerprint
+
+
+class TestSeverityZeroIsIdentity:
+    def test_every_generator_returns_the_input_object(self, dataset):
+        assert copying_cliques(dataset, 0.0) is dataset
+        assert reliability_drift(dataset, 0.0) is dataset
+        for scenario in SCENARIOS:
+            cell = ScenarioConfig(scenario, 0.0, seed=3)
+            assert apply_scenario(dataset, cell) is dataset
+
+    def test_zero_reorder_is_canonical_chunking(self, dataset):
+        batches = late_arrival_stream(dataset, 0.0, batch_size=100)
+        flat = [c for batch in batches for c in batch]
+        assert flat == list(dataset.iter_claims())
+        assert all(len(b) <= 100 for b in batches)
+
+
+class TestCopyingCliques:
+    def test_deterministic_per_seed(self, dataset):
+        one = copying_cliques(dataset, 0.7, seed=5)
+        two = copying_cliques(dataset, 0.7, seed=5)
+        assert one.fingerprint == two.fingerprint
+        assert one.fingerprint != copying_cliques(dataset, 0.7, seed=6).fingerprint
+
+    def test_universes_truth_and_types_preserved(self, mixed):
+        corrupted = copying_cliques(mixed, 1.0, seed=0)
+        assert corrupted.sources == mixed.sources
+        assert corrupted.attributes == mixed.attributes
+        assert corrupted.truth == mixed.truth
+        assert corrupted.attribute_types == mixed.attribute_types
+        assert corrupted.n_claims == mixed.n_claims
+
+    def test_full_rate_makes_copiers_echo_the_leader(self, dataset):
+        corrupted = copying_cliques(dataset, 1.0, n_copiers=3, seed=5)
+        changed = sum(
+            1
+            for key, value in dataset.claims.items()
+            if corrupted.claims[key] != value
+        )
+        assert changed > 0
+        # Copier claims now agree with some other source's claim set: at
+        # rate 1 each differing claim equals the leader's claim.
+        diff_sources = {
+            key[0]
+            for key, value in dataset.claims.items()
+            if corrupted.claims[key] != value
+        }
+        assert 1 <= len(diff_sources) <= 3
+
+
+class TestReliabilityDrift:
+    def test_first_claim_of_each_source_never_flips(self, dataset):
+        corrupted = reliability_drift(dataset, 1.0, seed=2)
+        seen = set()
+        for claim in dataset.iter_claims():
+            if claim.source in seen:
+                continue
+            seen.add(claim.source)
+            key = (claim.source, claim.object, claim.attribute)
+            assert corrupted.claims[key] == claim.value
+
+    def test_corruption_stays_in_candidate_universe(self, dataset):
+        corrupted = reliability_drift(dataset, 1.0, seed=2)
+        for fact in corrupted.facts:
+            original = set(dataset.values_for(fact))
+            assert set(corrupted.values_for(fact)) <= original
+
+    def test_higher_rate_flips_more(self, dataset):
+        def flips(rate):
+            corrupted = reliability_drift(dataset, rate, seed=2)
+            return sum(
+                1
+                for key, value in dataset.claims.items()
+                if corrupted.claims[key] != value
+            )
+
+        assert 0 < flips(0.3) < flips(1.0)
+
+
+class TestLateArrival:
+    def test_claims_conserved_under_reordering(self, dataset):
+        batches = late_arrival_stream(dataset, 0.6, batch_size=50, seed=1)
+        flat = [c for batch in batches for c in batch]
+        assert sorted(flat, key=repr) == sorted(
+            dataset.iter_claims(), key=repr
+        )
+        assert flat != list(dataset.iter_claims())
+
+    def test_replayed_dataset_preserves_content_and_types(self, mixed):
+        batches = late_arrival_stream(mixed, 0.8, batch_size=40, seed=4)
+        replayed = replayed_dataset(mixed, batches)
+        assert dict(replayed.claims) == dict(mixed.claims)
+        assert replayed.truth == mixed.truth
+        assert replayed.attribute_types == mixed.attribute_types
+        assert set(replayed.sources) == set(mixed.sources)
+
+
+class TestDegradationSweep:
+    def test_severity_zero_matches_clean_run_exactly(self, dataset):
+        sweep = degradation_sweep(
+            dataset,
+            scenarios=("drift",),
+            severities=(0.0, 1.0),
+            algorithms=("MajorityVote", "TDAC+MajorityVote"),
+            seed=0,
+        )
+        config = TDACConfig(seed=0)
+        clean = {
+            "MajorityVote": run_algorithm(MajorityVote(), dataset),
+            "TDAC+MajorityVote": run_algorithm(
+                TDAC(MajorityVote(), config=config), dataset
+            ),
+        }
+        zero = [r for r in sweep.records if r.severity == 0.0]
+        assert len(zero) == 2
+        for record in zero:
+            reference = clean[record.algorithm]
+            assert record.accuracy == reference.accuracy
+            assert record.f1 == reference.f1
+            assert record.fact_accuracy == reference.fact_accuracy
+
+    def test_sweep_skips_incapable_algorithms_with_reason(self, mixed):
+        sweep = degradation_sweep(
+            mixed,
+            scenarios=("copying",),
+            severities=(0.0,),
+            algorithms=("Routed", "MajorityVote"),
+        )
+        assert {r.algorithm for r in sweep.records} == {"Routed"}
+        assert [s.algorithm for s in sweep.skipped] == ["MajorityVote"]
+        assert "continuous" in sweep.skipped[0].reason
+
+    def test_records_carry_cell_fingerprints(self, dataset):
+        sweep = degradation_sweep(
+            dataset,
+            scenarios=("copying",),
+            severities=(0.0, 0.5),
+            algorithms=("MajorityVote",),
+            seed=7,
+        )
+        fingerprints = {c.fingerprint for c in sweep.configs}
+        assert len(fingerprints) == 2
+        assert {r.fingerprint for r in sweep.records} == fingerprints
+
+    def test_leaderboard_ranks_by_smallest_drop(self, dataset):
+        sweep = degradation_sweep(
+            dataset,
+            scenarios=("drift",),
+            severities=(0.0, 1.0),
+            algorithms=("MajorityVote", "TruthFinder"),
+        )
+        rows = degradation_leaderboard(sweep)
+        assert [row.rank for row in rows] == [1, 2]
+        assert rows[0].drop <= rows[1].drop
+        for row in rows:
+            assert row.drop == pytest.approx(
+                row.clean_accuracy - row.worst_accuracy
+            )
+
+    def test_resolver_spellings(self):
+        config = TDACConfig(seed=0)
+        assert resolve_algorithm("MajorityVote", config).name == "MajorityVote"
+        tdac = resolve_algorithm("TDAC+CRH", config)
+        assert isinstance(tdac, TDAC) and tdac.base.name == "CRH"
+        routed = resolve_algorithm("Routed[Accu]", config)
+        assert routed.categorical.name == "Accu"
+        nested = resolve_algorithm("TDAC+Routed", config)
+        assert isinstance(nested, TDAC)
+        with pytest.raises(KeyError):
+            resolve_algorithm("NoSuchAlgorithm", config)

@@ -1,0 +1,314 @@
+"""The typed claim model: attribute tags, routing, and typed metrics.
+
+Pins the three contracts the multi-truth / continuous extension makes:
+
+* type tags are part of the data layer — validated, propagated through
+  every dataset transformation, serialised, and fingerprint-stable for
+  untyped datasets;
+* the type router splits a mixed dataset into per-family runs and is
+  bit-identical to its base algorithm on an all-categorical dataset;
+* typed evaluation scores each family with its own protocol while the
+  untyped path stays byte-for-byte the classic claim-labelling report.
+"""
+
+import math
+
+import pytest
+
+from repro.algorithms import (
+    ContinuousCATD,
+    ContinuousCRH,
+    ContinuousMedian,
+    MajorityVote,
+    TypeRouted,
+    available,
+    capability_gap,
+    create,
+)
+from repro.core import TDAC, TDACConfig
+from repro.data import CATEGORICAL, CONTINUOUS, MULTI, DataError
+from repro.data.builder import DatasetBuilder
+from repro.data.io import dataset_from_dict, dataset_to_dict
+from repro.datasets import MIXED_ATTRIBUTE_TYPES, load, make_mixed
+from repro.evaluation import run_algorithm
+from repro.evaluation.leaderboard import SkippedAlgorithm, leaderboard
+from repro.evaluation.runner import UnsupportedDataError, check_capability
+from repro.metrics import (
+    evaluate_predictions,
+    evaluate_typed,
+    fact_accuracy,
+    set_confusion_counts,
+    tolerant_confusion_counts,
+    typed_fact_accuracy,
+)
+
+
+def build_typed(claims, truth=None, types=None, name="typed"):
+    builder = DatasetBuilder(name=name)
+    for claim in claims:
+        builder.add_claim(*claim)
+    for (o, a), v in (truth or {}).items():
+        builder.set_truth(o, a, v)
+    builder.declare_attribute_types(types or {})
+    return builder.build()
+
+
+class TestAttributeTypes:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(DataError):
+            build_typed(
+                [("s1", "o1", "a1", "x")], types={"a1": "fancy"}
+            )
+
+    def test_defaults_are_categorical(self):
+        dataset = build_typed([("s1", "o1", "a1", "x")])
+        assert dataset.attribute_type("a1") == CATEGORICAL
+        assert not dataset.has_typed_attributes
+
+    def test_explicit_categorical_keeps_untyped_fingerprint(self):
+        claims = [("s1", "o1", "a1", "x"), ("s2", "o1", "a2", 3.0)]
+        untyped = build_typed(claims)
+        tagged = build_typed(claims, types={"a1": CATEGORICAL})
+        typed = build_typed(claims, types={"a2": CONTINUOUS})
+        assert tagged.fingerprint == untyped.fingerprint
+        assert typed.fingerprint != untyped.fingerprint
+
+    def test_types_propagate_through_transformations(self):
+        dataset = make_mixed(n_objects=6, seed=3).dataset
+        assert dataset.attribute_types["price"] == CONTINUOUS
+        restricted = dataset.restrict_attributes(("price", "tags"))
+        assert restricted.attribute_types == {
+            "price": CONTINUOUS,
+            "tags": MULTI,
+        }
+        fewer = dataset.restrict_sources(dataset.sources[:4])
+        assert fewer.attribute_type("tags") == MULTI
+        assert dataset.renamed("other").attribute_types == dataset.attribute_types
+        assert (
+            dataset.with_truth(dataset.truth).attribute_types
+            == dataset.attribute_types
+        )
+
+    def test_extended_preserves_types(self):
+        from repro.data import Claim
+
+        dataset = make_mixed(n_objects=5, seed=1).dataset
+        grown = dataset.extended(
+            [Claim("alpha-1", "newobj", "price", 42.5)]
+        )
+        assert grown.attribute_type("price") == CONTINUOUS
+
+    def test_io_round_trip_preserves_types_and_fingerprint(self):
+        dataset = make_mixed(n_objects=5, seed=2).dataset
+        clone = dataset_from_dict(dataset_to_dict(dataset))
+        assert clone.fingerprint == dataset.fingerprint
+        assert clone.attribute_types == dataset.attribute_types
+
+    def test_untyped_io_payload_has_no_types_key(self):
+        dataset = build_typed([("s1", "o1", "a1", "x")])
+        assert "attribute_types" not in dataset_to_dict(dataset)
+
+    def test_mixed_preset_registered(self):
+        dataset = load("Mixed", scale=0.05)
+        assert dataset.attribute_types["tags"] == MULTI
+        assert set(MIXED_ATTRIBUTE_TYPES) <= set(dataset.attributes)
+
+
+class TestCapabilityFlags:
+    def test_registry_has_continuous_estimators(self):
+        names = available()
+        for name in ("CRH-Cont", "CATD-Cont", "Median-Cont"):
+            assert name in names
+
+    def test_slot_voters_declare_categorical_and_multi(self):
+        assert MajorityVote().value_types == {CATEGORICAL, MULTI}
+        assert ContinuousCRH().value_types == {CONTINUOUS}
+        assert TypeRouted().value_types == {CATEGORICAL, CONTINUOUS, MULTI}
+
+    def test_capability_gap_names_missing_families(self):
+        mixed = make_mixed(n_objects=4, seed=0).dataset
+        gap = capability_gap(MajorityVote(), mixed)
+        assert gap is not None and "continuous" in gap
+        assert capability_gap(TypeRouted(), mixed) is None
+        categorical = load("DS1", scale=0.02)
+        gap = capability_gap(ContinuousMedian(), categorical)
+        assert gap is not None and "categorical" in gap
+
+    def test_runner_raises_unsupported_with_reason(self):
+        mixed = make_mixed(n_objects=4, seed=0).dataset
+        with pytest.raises(UnsupportedDataError, match="continuous"):
+            run_algorithm(MajorityVote(), mixed)
+        # TD-AC unwraps to its base for the capability check.
+        with pytest.raises(UnsupportedDataError):
+            check_capability(
+                TDAC(MajorityVote(), config=TDACConfig(seed=0)), mixed
+            )
+
+    def test_leaderboard_skips_with_reason(self):
+        mixed = make_mixed(n_objects=4, seed=0).dataset
+        skipped: list[SkippedAlgorithm] = []
+        entries = leaderboard(
+            mixed,
+            include_tdac=False,
+            algorithms=["MajorityVote", "Median-Cont"],
+            skipped=skipped,
+        )
+        assert entries == []
+        assert {s.algorithm for s in skipped} == {
+            "MajorityVote",
+            "Median-Cont",
+        }
+        for skip in skipped:
+            assert "does not support" in skip.reason
+
+
+class TestContinuousEstimators:
+    def build_numeric(self):
+        claims = [
+            ("s1", "o1", "p", 10.0),
+            ("s2", "o1", "p", 10.0),
+            ("s3", "o1", "p", 14.0),
+            ("s1", "o2", "p", 100.0),
+            ("s2", "o2", "p", 100.0),
+            ("s3", "o2", "p", 130.0),
+        ]
+        truth = {("o1", "p"): 10.0, ("o2", "p"): 100.0}
+        return build_typed(claims, truth=truth, types={"p": CONTINUOUS})
+
+    def test_crh_downweights_the_outlier(self):
+        dataset = self.build_numeric()
+        result = ContinuousCRH().discover(dataset)
+        assert result.source_trust["s1"] == result.source_trust["s2"]
+        assert result.source_trust["s3"] < result.source_trust["s1"]
+        for fact, truth in (("o1", 10.0), ("o2", 100.0)):
+            predicted = result.predictions[
+                next(f for f in dataset.facts if f.object == fact)
+            ]
+            assert abs(predicted - truth) / truth < 0.1
+
+    def test_catd_and_median_run(self):
+        dataset = self.build_numeric()
+        for algorithm in (ContinuousCATD(), ContinuousMedian()):
+            result = algorithm.discover(dataset)
+            assert set(result.predictions) == set(dataset.facts)
+        median = ContinuousMedian().discover(dataset)
+        assert median.predictions[dataset.facts[0]] == 10.0
+
+    def test_non_numeric_claims_rejected(self):
+        dataset = build_typed(
+            [("s1", "o1", "p", "not-a-number")], types={"p": CONTINUOUS}
+        )
+        with pytest.raises(DataError, match="numeric"):
+            ContinuousCRH().discover(dataset)
+
+
+class TestTypeRouting:
+    def test_router_matches_base_on_categorical_dataset(self):
+        dataset = load("DS1", scale=0.02)
+        routed = TypeRouted(categorical=MajorityVote()).discover(dataset)
+        plain = MajorityVote().discover(dataset)
+        assert routed.predictions == plain.predictions
+        assert routed.source_trust == plain.source_trust
+
+    def test_router_covers_every_fact_of_mixed(self):
+        dataset = make_mixed(n_objects=8, seed=0).dataset
+        result = TypeRouted().discover(dataset)
+        assert set(result.predictions) == set(dataset.facts)
+        for fact in dataset.facts:
+            if dataset.attribute_type(fact.attribute) == CONTINUOUS:
+                assert isinstance(result.predictions[fact], float)
+
+    def test_router_rejects_incompatible_sub_algorithm(self):
+        with pytest.raises(DataError):
+            TypeRouted(continuous=MajorityVote())
+
+    def test_tdac_wraps_router_and_partitions_mixed(self):
+        dataset = load("Mixed", scale=0.25)
+        outcome = TDAC(TypeRouted(), config=TDACConfig(seed=0)).run(dataset)
+        assert set(outcome.result.predictions) == set(dataset.facts)
+        # The planted partition aligns with the type boundaries; at this
+        # deterministic size/seed TD-AC recovers it exactly.
+        assert {frozenset(b) for b in outcome.partition.blocks} == {
+            frozenset({"color", "material"}),
+            frozenset({"origin", "tags"}),
+            frozenset({"price", "weight"}),
+        }
+
+
+class TestTypedMetrics:
+    def test_untyped_dataset_identical_to_classic_report(self):
+        dataset = load("DS1", scale=0.02)
+        predictions = MajorityVote().discover(dataset).predictions
+        classic = evaluate_predictions(dataset, predictions)
+        typed = evaluate_typed(dataset, predictions)
+        assert typed.overall == classic
+        assert typed_fact_accuracy(dataset, predictions) == fact_accuracy(
+            dataset, predictions
+        )
+
+    def test_set_prf_hand_example(self):
+        dataset = build_typed(
+            [
+                ("s1", "o1", "t", ("a", "b")),
+                ("s2", "o1", "t", ("a", "c")),
+            ],
+            truth={("o1", "t"): ("a", "b")},
+            types={"t": MULTI},
+        )
+        counts, n_facts = set_confusion_counts(
+            dataset, {dataset.facts[0]: ("a", "c")}
+        )
+        # Candidates {a, b, c}: a is tp, c is fp, b is fn.
+        assert n_facts == 1
+        assert (
+            counts.true_positives,
+            counts.false_positives,
+            counts.false_negatives,
+            counts.true_negatives,
+        ) == (1, 1, 1, 0)
+        report = evaluate_typed(dataset, {dataset.facts[0]: ("a", "c")})
+        assert report.overall.precision == pytest.approx(0.5)
+        assert report.overall.recall == pytest.approx(0.5)
+
+    def test_multi_fact_accuracy_is_order_insensitive(self):
+        dataset = build_typed(
+            [("s1", "o1", "t", ("a", "b"))],
+            truth={("o1", "t"): ("b", "a")},
+            types={"t": MULTI},
+        )
+        assert (
+            typed_fact_accuracy(dataset, {dataset.facts[0]: ("a", "b")})
+            == 1.0
+        )
+
+    def test_continuous_tolerance_decisions(self):
+        dataset = build_typed(
+            [("s1", "o1", "p", 100.0), ("s1", "o2", "p", 10.0)],
+            truth={("o1", "p"): 100.0, ("o2", "p"): 10.0},
+            types={"p": CONTINUOUS},
+        )
+        facts = {f.object: f for f in dataset.facts}
+        close = {facts["o1"]: 100.05, facts["o2"]: 20.0}
+        counts, n_facts = tolerant_confusion_counts(dataset, close)
+        assert n_facts == 2
+        assert counts.true_positives == 1  # 100.05 within 1% of 100
+        assert counts.false_positives == 1  # 20 vs 10 is a miss
+        assert counts.false_negatives == 1
+
+    def test_mixed_report_sums_per_family_counts(self):
+        dataset = make_mixed(n_objects=6, seed=0).dataset
+        result = TypeRouted().discover(dataset)
+        report = evaluate_typed(dataset, result.predictions)
+        assert set(report.by_type) == {CATEGORICAL, MULTI, CONTINUOUS}
+        total = sum(
+            r.counts.total for r in report.by_type.values()
+        )
+        assert report.overall.counts.total == total
+        assert 0.0 <= report.overall.f1 <= 1.0
+        assert not math.isnan(report.overall.accuracy)
+
+    def test_algorithm_names_documented(self):
+        # Registry growth must keep the docs list complete.
+        text = open("docs/algorithms.md").read()
+        for name in ("CRH-Cont", "CATD-Cont", "Median-Cont"):
+            assert name in text
